@@ -1,0 +1,94 @@
+"""Ablation 6 — integration-path costs (Section 4).
+
+The intrusive design (Figure 4) avoids per-request channel crossings
+but pays a one-time migration; the non-intrusive design (Figure 3)
+deploys instantly but pays per request.  This bench quantifies both
+sides of the trade-off the paper asks deployers to weigh.
+"""
+
+import pytest
+
+from repro.integration.intrusive import migrate_kvs_to_spitz
+from repro.kvstore.kvs import ImmutableKVS
+from repro.workloads.generator import WorkloadGenerator
+
+N = 1500
+
+
+def _loaded_kvs():
+    gen = WorkloadGenerator(N, seed=13)
+    kvs = ImmutableKVS()
+    for key, value in gen.records():
+        kvs.put(key, value)
+    # Add some version history so migration has depth to move.
+    for op in gen.writes(N // 4):
+        kvs.put(op.key, op.value)
+    return kvs
+
+
+def test_migration_with_history(benchmark):
+    """The Figure 4 entry fee: full-history migration into Spitz."""
+    spitz = benchmark.pedantic(
+        lambda: migrate_kvs_to_spitz(_loaded_kvs()),
+        rounds=1,
+        iterations=1,
+    )
+    assert spitz.ledger.height > 0
+
+
+def test_migration_current_state_only(benchmark):
+    """The cheaper migration that forfeits pre-migration provenance."""
+    spitz = benchmark.pedantic(
+        lambda: migrate_kvs_to_spitz(
+            _loaded_kvs(), include_history=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert spitz.ledger.height > 0
+
+
+def test_migration_break_even_analysis():
+    """How many verified reads until the migration pays for itself
+    against the non-intrusive per-request overhead.  Printed as
+    documentation; asserted only for sanity."""
+    import time
+
+    from repro.core.verifier import ClientVerifier
+    from repro.integration.nonintrusive import NonIntrusiveVDB
+
+    gen = WorkloadGenerator(600, seed=17)
+    records = list(gen.records())
+
+    kvs = ImmutableKVS()
+    noni = NonIntrusiveVDB()
+    for key, value in records:
+        kvs.put(key, value)
+        noni.put(key, value)
+
+    start = time.perf_counter()
+    spitz = migrate_kvs_to_spitz(kvs, include_history=False)
+    migration_cost = time.perf_counter() - start
+
+    verifier = ClientVerifier()
+    verifier.trust(spitz.digest())
+    noni_verifier = ClientVerifier()
+    noni_verifier.trust(noni.digest())
+    keys = [op.key for op in gen.reads(100)]
+
+    start = time.perf_counter()
+    for key in keys:
+        _value, proof = spitz.get_verified(key)
+        verifier.verify_or_raise(proof)
+    spitz_cost = (time.perf_counter() - start) / len(keys)
+
+    start = time.perf_counter()
+    for key in keys:
+        _value, proof, digest = noni.get_verified(key)
+        noni_verifier.observe(digest)
+        noni_verifier.verify_or_raise(proof)
+    noni_cost = (time.perf_counter() - start) / len(keys)
+
+    assert noni_cost > spitz_cost
+    break_even = migration_cost / (noni_cost - spitz_cost)
+    assert break_even > 0

@@ -1,0 +1,67 @@
+"""Ablation 1 — unified vs separate proof path.
+
+DESIGN.md §5.1: the core design decision behind Spitz's verified-read
+advantage.  We isolate the two proof-retrieval strategies on the same
+data: the POS-tree's single traversal (value + proof together) vs the
+baseline's two-structure walk (view lookup, then per-record journal
+search).
+"""
+
+import itertools
+
+import pytest
+
+
+def test_unified_value_plus_proof(benchmark, gen, spitz):
+    """One POS-tree traversal yields both value and proof."""
+    keys = itertools.cycle([op.key for op in gen.reads(256)])
+    ledger = spitz.ledger
+    from repro.core.schema import KV_PREFIX
+
+    def unified():
+        return ledger.get_with_proof(KV_PREFIX + next(keys))
+
+    benchmark(unified)
+
+
+def test_separate_value_then_proof(benchmark, gen, baseline):
+    """Baseline: B+-tree view for the value, then the journal search
+    for the proof."""
+    keys = itertools.cycle([op.key for op in gen.reads(32)])
+
+    def separate():
+        return baseline.get_verified(next(keys))
+
+    benchmark(separate)
+
+
+def test_ablation_shape_unified_wins():
+    """At equal size, proof retrieval via the unified index is at
+    least several times faster than the separate-journal path."""
+    import time
+
+    from repro.baseline.ledger_db import BaselineLedgerDB
+    from repro.core.database import SpitzDatabase
+    from repro.core.schema import KV_PREFIX
+    from repro.workloads.generator import WorkloadGenerator
+
+    gen = WorkloadGenerator(1500, seed=3)
+    spitz = SpitzDatabase(block_batch=64)
+    baseline = BaselineLedgerDB()
+    for key, value in gen.records():
+        spitz.put(key, value)
+        baseline.put(key, value)
+    spitz.flush_ledger()
+    keys = [op.key for op in gen.reads(60)]
+
+    start = time.perf_counter()
+    for key in keys:
+        spitz.ledger.get_with_proof(KV_PREFIX + key)
+    unified = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for key in keys:
+        baseline.get_verified(key)
+    separate = time.perf_counter() - start
+
+    assert separate > unified * 2

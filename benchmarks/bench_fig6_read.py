@@ -1,0 +1,55 @@
+"""Figure 6(a) — read-only throughput, single thread.
+
+Five configurations over the same preloaded workload: the immutable
+KVS, Spitz with and without verification, and the baseline with and
+without verification.  ``pytest-benchmark`` reports per-operation
+latency; ops/s is its inverse.  The full size sweep is printed by
+``python -m repro.bench.harness --figure 6a``.
+"""
+
+import itertools
+
+import pytest
+
+
+def _key_cycle(gen, count=256):
+    keys = [op.key for op in gen.reads(count)]
+    return itertools.cycle(keys)
+
+
+def test_read_immutable_kvs(benchmark, gen, kvs):
+    keys = _key_cycle(gen)
+    benchmark(lambda: kvs.get(next(keys)))
+
+
+def test_read_spitz(benchmark, gen, spitz):
+    keys = _key_cycle(gen)
+    benchmark(lambda: spitz.get(next(keys)))
+
+
+def test_read_spitz_verify(benchmark, gen, spitz, spitz_verifier):
+    keys = _key_cycle(gen)
+
+    def verified_read():
+        value, proof = spitz.get_verified(next(keys))
+        spitz_verifier.verify_or_raise(proof)
+        return value
+
+    benchmark(verified_read)
+
+
+def test_read_baseline(benchmark, gen, baseline):
+    keys = _key_cycle(gen)
+    benchmark(lambda: baseline.get(next(keys)))
+
+
+def test_read_baseline_verify(benchmark, gen, baseline):
+    keys = _key_cycle(gen, count=32)
+    root = baseline.digest()
+
+    def verified_read():
+        value, proof = baseline.get_verified(next(keys))
+        assert proof.verify(root)
+        return value
+
+    benchmark(verified_read)

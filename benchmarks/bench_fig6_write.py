@@ -1,0 +1,74 @@
+"""Figure 6(b) — write-only throughput, single thread.
+
+Same five configurations as 6(a), measuring updates of existing keys.
+Spitz runs under the deferred scheme (Section 5.3): ledger blocks of
+64 writes, verified writes batched through
+:class:`~repro.core.verifier.VerifiedWriter`.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.verifier import ClientVerifier, VerifiedWriter
+
+
+def _write_cycle(gen, count=512):
+    ops = list(gen.writes(count))
+    return itertools.cycle(ops)
+
+
+def test_write_immutable_kvs(benchmark, gen, kvs):
+    ops = _write_cycle(gen)
+
+    def write():
+        op = next(ops)
+        kvs.put(op.key, op.value)
+
+    benchmark(write)
+
+
+def test_write_spitz(benchmark, gen, spitz):
+    ops = _write_cycle(gen)
+
+    def write():
+        op = next(ops)
+        spitz.put(op.key, op.value)
+
+    benchmark(write)
+
+
+def test_write_spitz_verify(benchmark, gen, spitz):
+    ops = _write_cycle(gen)
+    verifier = ClientVerifier()
+    verifier.trust(spitz.digest())
+    writer = VerifiedWriter(spitz, verifier, batch_size=64)
+
+    def write():
+        op = next(ops)
+        writer.put(op.key, op.value)
+
+    benchmark(write)
+    writer.flush()
+
+
+def test_write_baseline(benchmark, gen, baseline):
+    ops = _write_cycle(gen)
+
+    def write():
+        op = next(ops)
+        baseline.put(op.key, op.value)
+
+    benchmark(write)
+
+
+def test_write_baseline_verify(benchmark, gen, baseline):
+    ops = _write_cycle(gen)
+
+    def write():
+        op = next(ops)
+        baseline.put(op.key, op.value)
+        _value, proof = baseline.get_verified(op.key)
+        assert proof.verify(baseline.digest())
+
+    benchmark(write)

@@ -1,0 +1,77 @@
+"""Figure 8 — the non-intrusive design vs Spitz.
+
+Reads: Spitz answers in-process from the unified index; the
+non-intrusive design pays one round trip to the underlying database
+plus one to the ledger database.  Writes: Spitz commits once; the
+non-intrusive design stages, appends and commits across two systems
+(three round trips).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.verifier import ClientVerifier
+
+
+def _read_cycle(gen, count=256):
+    return itertools.cycle([op.key for op in gen.reads(count)])
+
+
+def _write_cycle(gen, count=512):
+    return itertools.cycle(list(gen.writes(count)))
+
+
+def test_fig8_read_spitz(benchmark, gen, spitz):
+    keys = _read_cycle(gen)
+    benchmark(lambda: spitz.get(next(keys)))
+
+
+def test_fig8_read_spitz_verify(benchmark, gen, spitz, spitz_verifier):
+    keys = _read_cycle(gen)
+
+    def verified_read():
+        value, proof = spitz.get_verified(next(keys))
+        spitz_verifier.verify_or_raise(proof)
+        return value
+
+    benchmark(verified_read)
+
+
+def test_fig8_read_nonintrusive(benchmark, gen, nonintrusive):
+    keys = _read_cycle(gen)
+    benchmark(lambda: nonintrusive.get(next(keys)))
+
+
+def test_fig8_read_nonintrusive_verify(benchmark, gen, nonintrusive):
+    keys = _read_cycle(gen)
+    verifier = ClientVerifier()
+    verifier.trust(nonintrusive.digest())
+
+    def verified_read():
+        value, proof, digest = nonintrusive.get_verified(next(keys))
+        verifier.observe(digest)
+        verifier.verify_or_raise(proof)
+        return value
+
+    benchmark(verified_read)
+
+
+def test_fig8_write_spitz(benchmark, gen, spitz):
+    ops = _write_cycle(gen)
+
+    def write():
+        op = next(ops)
+        spitz.put(op.key, op.value)
+
+    benchmark(write)
+
+
+def test_fig8_write_nonintrusive(benchmark, gen, nonintrusive):
+    ops = _write_cycle(gen)
+
+    def write():
+        op = next(ops)
+        nonintrusive.put(op.key, op.value)
+
+    benchmark(write)

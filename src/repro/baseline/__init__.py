@@ -1,0 +1,20 @@
+"""The baseline system: an emulation of a commercial ledger database.
+
+Section 6.1: "we implement a baseline system to emulate a commercial
+product [Amazon QLDB] based on the features described online ...  The
+newly inserted or modified records are collected into blocks and
+appended to a ledger implemented by a Merkle tree ...  the appended
+blocks are materialized to indexed views for fast query processing."
+"""
+
+from repro.baseline.journal import Journal, JournalRecord
+from repro.baseline.ledger_db import BaselineLedgerDB, BaselineProof
+from repro.baseline.views import MaterializedViews
+
+__all__ = [
+    "BaselineLedgerDB",
+    "BaselineProof",
+    "Journal",
+    "JournalRecord",
+    "MaterializedViews",
+]

@@ -1,0 +1,172 @@
+"""The baseline's journal: insertion-ordered blocks under a Merkle tree.
+
+Records are appended in arrival order, grouped into fixed-size blocks
+chained by hashes, with one Merkle tree over *all* records for
+integrity proofs — the QLDB journal structure described in
+Sections 2.3 and 6.1.
+
+The structural property the evaluation hinges on: the journal is
+ordered by *insertion*, not by key.  The Merkle path itself is
+O(log n), but finding which leaf holds the latest version of a key
+requires searching the journal ("the retrieval on the proofs ... must
+be processed by searching the digest in the ledger individually",
+Section 6.2.2) — that per-record search is what collapses
+``Baseline-verify`` throughput in Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crypto.hashing import Digest, hash_bytes
+from repro.crypto.merkle import HashChain, MerkleProof, MerkleTree
+from repro.errors import ProofError
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journal entry: a key's new value (or tombstone)."""
+
+    sequence: int
+    key: bytes
+    value: Optional[bytes]  # None = delete
+
+    def encode(self) -> bytes:
+        return pickle.dumps(
+            (self.sequence, self.key, self.value), protocol=4
+        )
+
+
+@dataclass(frozen=True)
+class JournalBlock:
+    """A sealed group of consecutive records."""
+
+    height: int
+    first_sequence: int
+    record_count: int
+    records_digest: Digest
+    chain_digest: Digest
+
+
+class Journal:
+    """Append-only record log + block chain + global Merkle tree."""
+
+    def __init__(self, block_size: int = 16):
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self._records: List[JournalRecord] = []
+        self._tree = MerkleTree()
+        self._chain = HashChain()
+        self._blocks: List[JournalBlock] = []
+        self._pending_start = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def blocks(self) -> List[JournalBlock]:
+        return list(self._blocks)
+
+    def append(self, key: bytes, value: Optional[bytes]) -> JournalRecord:
+        """Append one record; seals a block when block_size is reached."""
+        record = JournalRecord(
+            sequence=len(self._records), key=key, value=value
+        )
+        self._records.append(record)
+        self._tree.append(record.encode())
+        if len(self._records) - self._pending_start >= self.block_size:
+            self.seal()
+        return record
+
+    def seal(self) -> Optional[JournalBlock]:
+        """Seal pending records into a block (None if nothing pending)."""
+        if self._pending_start >= len(self._records):
+            return None
+        pending = self._records[self._pending_start:]
+        records_digest = hash_bytes(
+            b"".join(record.encode() for record in pending)
+        )
+        entry = self._chain.append(records_digest)
+        block = JournalBlock(
+            height=len(self._blocks),
+            first_sequence=self._pending_start,
+            record_count=len(pending),
+            records_digest=records_digest,
+            chain_digest=entry.chain_digest,
+        )
+        self._blocks.append(block)
+        self._pending_start = len(self._records)
+        return block
+
+    # -- digests -----------------------------------------------------------
+
+    @property
+    def root(self) -> Digest:
+        """Merkle root over all records (the verification digest)."""
+        return self._tree.root
+
+    @property
+    def chain_head(self) -> Digest:
+        return self._chain.head
+
+    def record(self, sequence: int) -> JournalRecord:
+        return self._records[sequence]
+
+    # -- the expensive part: locating a key's record -------------------------
+
+    def locate_latest(self, key: bytes) -> Optional[int]:
+        """Sequence number of the latest record for ``key``.
+
+        The journal has no key index (Section 6.2.2's "searching the
+        digest in the ledger individually"), so this scans backwards
+        from the newest record.  Cost grows linearly with the journal
+        — the baseline's verified-read bottleneck.
+        """
+        for sequence in range(len(self._records) - 1, -1, -1):
+            if self._records[sequence].key == key:
+                return sequence
+        return None
+
+    def prove(self, sequence: int) -> Tuple[JournalRecord, MerkleProof]:
+        """Merkle inclusion proof for record ``sequence``."""
+        if not 0 <= sequence < len(self._records):
+            raise ProofError(f"no journal record #{sequence}")
+        record = self._records[sequence]
+        return record, self._tree.prove(sequence)
+
+    def prove_latest(
+        self, key: bytes
+    ) -> Optional[Tuple[JournalRecord, MerkleProof]]:
+        """Locate (linear search) then prove the latest record of
+        ``key`` — the full baseline verified-read cost."""
+        sequence = self.locate_latest(key)
+        if sequence is None:
+            return None
+        return self.prove(sequence)
+
+    @staticmethod
+    def verify(
+        record: JournalRecord, proof: MerkleProof, root: Digest
+    ) -> bool:
+        """Client-side check of a journal proof against a digest."""
+        return proof.verify(record.encode(), root)
+
+    def verify_chain(self) -> bool:
+        """Recompute every sealed block digest and chain link."""
+        running_ok = True
+        payloads: List[Digest] = []
+        for block in self._blocks:
+            records = self._records[
+                block.first_sequence:
+                block.first_sequence + block.record_count
+            ]
+            digest = hash_bytes(
+                b"".join(record.encode() for record in records)
+            )
+            if digest != block.records_digest:
+                running_ok = False
+            payloads.append(digest)
+        return running_ok and self._chain.verify_prefix(payloads)

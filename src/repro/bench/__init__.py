@@ -1,0 +1,27 @@
+"""Benchmark harness regenerating the paper's figures.
+
+:mod:`repro.bench.harness` holds one runner per figure plus the
+ablations DESIGN.md calls out; :mod:`repro.bench.metrics` holds the
+measurement/reporting plumbing.  ``python -m repro.bench.harness --figure all``
+prints every series; the ``benchmarks/`` pytest suite wraps the same
+runners for ``pytest --benchmark-only``.
+"""
+
+from repro.bench.harness import (
+    fig1_storage,
+    fig6_read,
+    fig6_write,
+    fig7_range,
+    fig8_nonintrusive,
+)
+from repro.bench.metrics import FigureResult, Series
+
+__all__ = [
+    "FigureResult",
+    "Series",
+    "fig1_storage",
+    "fig6_read",
+    "fig6_write",
+    "fig7_range",
+    "fig8_nonintrusive",
+]

@@ -1,0 +1,517 @@
+"""Figure runners: one per table/figure in the paper's evaluation.
+
+Record counts are scaled down from the paper's 10^4..1.28*10^6 ladder
+(DESIGN.md's substitution table): the same *2 geometric spacing,
+starting at ``SPITZ_BENCH_SCALE`` (default 250).  Absolute ops/s are
+not comparable to the paper's C++ testbed; the *shapes* — who wins, by
+what factor, where verification hurts — are, and EXPERIMENTS.md
+records them side by side.
+
+Run from the command line::
+
+    python -m repro.bench.harness --figure 6a
+    python -m repro.bench.harness --figure all --scale 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import time
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.baseline.ledger_db import BaselineLedgerDB
+from repro.core.database import SpitzDatabase
+from repro.core.verifier import ClientVerifier, VerifiedWriter
+from repro.forkbase.chunker import RollingChunker
+from repro.forkbase.store import ForkBase
+from repro.integration.nonintrusive import NonIntrusiveVDB
+from repro.kvstore.kvs import ImmutableKVS
+from repro.bench.metrics import FigureResult
+from repro.workloads.generator import Operation, WorkloadGenerator
+from repro.workloads.wiki import WikiWorkload, naive_storage_bytes
+
+DEFAULT_SCALE = int(os.environ.get("SPITZ_BENCH_SCALE", "250"))
+#: The paper uses {1,2,4,...,128} x 10^4; we keep the x2 ladder.
+LADDER = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Measured operations per point (smaller for the quadratic configs).
+OPS_DEFAULT = 200
+OPS_WRITE = 640
+OPS_BASELINE_VERIFY = 30
+OPS_SCAN = 60
+OPS_BASELINE_VERIFY_SCAN = 8
+
+
+def sizes_for(scale: int, ladder: Iterable[int] = LADDER) -> List[int]:
+    return [scale * step for step in ladder]
+
+
+def _settle_gc() -> None:
+    """Move loaded data out of GC's tracked generations.
+
+    Long-lived caches (chunk store, decode cache) otherwise make every
+    young-generation collection scan millions of tuples, distorting
+    the measured op costs.  Freezing after the load phase is standard
+    practice for cache-heavy CPython services.
+    """
+    gc.collect()
+    gc.freeze()
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — storage growth with version count
+# ---------------------------------------------------------------------------
+
+def fig1_storage(
+    versions_list: Iterable[int] = (10, 20, 30, 40, 50, 60),
+    chunker: Optional[object] = None,
+) -> FigureResult:
+    """Naive snapshot storage vs ForkBase dedup over wiki versions."""
+    result = FigureResult(
+        figure="Figure 1",
+        title="Data storage improved by deduplication",
+        x_label="#Versions",
+        y_label="Storage (KB)",
+    )
+    naive = result.series_named("Storage")
+    forkbase = result.series_named("Storage-ForkBase")
+    for versions in versions_list:
+        workload = WikiWorkload(seed=7)
+        initial = workload.initial_pages()
+        edits = workload.edits(versions)
+        naive.add(versions, naive_storage_bytes(initial, edits) / 1024)
+
+        store = ForkBase(chunker=chunker or RollingChunker())
+        for page, content in initial:
+            store.put(page, content)
+        store.commit("v1")
+        for edit in edits:
+            store.put(edit.page, edit.content)
+            store.commit(f"v{edit.version}")
+        forkbase.add(
+            versions, store.stats.physical_bytes / 1024
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# shared system builders
+# ---------------------------------------------------------------------------
+
+def _load_kvs(gen: WorkloadGenerator) -> ImmutableKVS:
+    kvs = ImmutableKVS()
+    for key, value in gen.records():
+        kvs.put(key, value)
+    return kvs
+
+
+#: Ledger block batch for Spitz under benchmark load — the paper's
+#: deferred scheme (Section 5.3) batches transactions into blocks.
+SPITZ_BLOCK_BATCH = 128
+
+
+def _load_spitz(gen: WorkloadGenerator) -> SpitzDatabase:
+    db = SpitzDatabase(block_batch=SPITZ_BLOCK_BATCH)
+    for key, value in gen.records():
+        db.put(key, value)
+    db.flush_ledger()
+    return db
+
+
+def _load_baseline(gen: WorkloadGenerator) -> BaselineLedgerDB:
+    db = BaselineLedgerDB()
+    for key, value in gen.records():
+        db.put(key, value)
+    return db
+
+
+def _load_nonintrusive(gen: WorkloadGenerator) -> NonIntrusiveVDB:
+    db = NonIntrusiveVDB()
+    for key, value in gen.records():
+        db.put(key, value)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(a) — read-only throughput, single thread
+# ---------------------------------------------------------------------------
+
+def fig6_read(
+    sizes: Optional[List[int]] = None, seed: int = 1
+) -> FigureResult:
+    sizes = sizes if sizes is not None else sizes_for(DEFAULT_SCALE)
+    result = FigureResult(
+        figure="Figure 6(a)",
+        title="Read-only workload, single-thread",
+        x_label="#Records",
+        y_label="Throughput (ops/s)",
+    )
+    for n in sizes:
+        gen = WorkloadGenerator(n, seed=seed)
+        kvs = _load_kvs(gen)
+        spitz = _load_spitz(gen)
+        base = _load_baseline(gen)
+        _settle_gc()
+
+        read_ops = list(gen.reads(OPS_DEFAULT))
+        verify_ops = read_ops[:OPS_BASELINE_VERIFY]
+        verifier = ClientVerifier()
+        verifier.trust(spitz.digest())
+
+        result.series_named("Immutable KVS").add(
+            n, _throughput_over(read_ops, lambda op: kvs.get(op.key))
+        )
+        result.series_named("Spitz").add(
+            n, _throughput_over(read_ops, lambda op: spitz.get(op.key))
+        )
+        result.series_named("Spitz-verify").add(
+            n,
+            _throughput_over(
+                read_ops,
+                lambda op: _spitz_verified_read(spitz, verifier, op.key),
+            ),
+        )
+        result.series_named("Baseline").add(
+            n, _throughput_over(read_ops, lambda op: base.get(op.key))
+        )
+        baseline_root = base.digest()
+        result.series_named("Baseline-verify").add(
+            n,
+            _throughput_over(
+                verify_ops,
+                lambda op: _baseline_verified_read(
+                    base, baseline_root, op.key
+                ),
+            ),
+        )
+    return result
+
+
+def _spitz_verified_read(
+    spitz: SpitzDatabase, verifier: ClientVerifier, key: bytes
+):
+    value, proof = spitz.get_verified(key)
+    verifier.verify_or_raise(proof)
+    return value
+
+
+def _baseline_verified_read(base: BaselineLedgerDB, root, key: bytes):
+    value, proof = base.get_verified(key)
+    if proof is not None and not proof.verify(root):
+        raise AssertionError("baseline proof failed")
+    return value
+
+
+def _throughput_over(
+    ops: List[Operation], action: Callable[[Operation], object]
+) -> float:
+    start = time.perf_counter()
+    for op in ops:
+        action(op)
+    elapsed = time.perf_counter() - start
+    return len(ops) / elapsed if elapsed > 0 else float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(b) — write-only throughput, single thread
+# ---------------------------------------------------------------------------
+
+def fig6_write(
+    sizes: Optional[List[int]] = None, seed: int = 1
+) -> FigureResult:
+    sizes = sizes if sizes is not None else sizes_for(DEFAULT_SCALE)
+    result = FigureResult(
+        figure="Figure 6(b)",
+        title="Write-only workload, single-thread",
+        x_label="#Records",
+        y_label="Throughput (ops/s)",
+    )
+    for n in sizes:
+        gen = WorkloadGenerator(n, seed=seed)
+        kvs = _load_kvs(gen)
+        spitz = _load_spitz(gen)
+        base = _load_baseline(gen)
+        _settle_gc()
+
+        writes = list(gen.writes(OPS_WRITE))
+        verifier = ClientVerifier()
+        verifier.trust(spitz.digest())
+
+        result.series_named("Immutable KVS").add(
+            n,
+            _throughput_over(
+                writes, lambda op: kvs.put(op.key, op.value)
+            ),
+        )
+        result.series_named("Spitz").add(
+            n,
+            _throughput_over(
+                writes, lambda op: spitz.put(op.key, op.value)
+            ),
+        )
+        writer = VerifiedWriter(spitz, verifier, batch_size=128)
+        result.series_named("Spitz-verify").add(
+            n,
+            _throughput_over(
+                writes,
+                lambda op: _spitz_verified_write(writer, op.key, op.value),
+            ),
+        )
+        writer.flush()
+        result.series_named("Baseline").add(
+            n,
+            _throughput_over(
+                writes, lambda op: base.put(op.key, op.value)
+            ),
+        )
+        baseline_writes = writes[:OPS_BASELINE_VERIFY]
+        result.series_named("Baseline-verify").add(
+            n,
+            _throughput_over(
+                baseline_writes,
+                lambda op: _baseline_verified_write(
+                    base, op.key, op.value
+                ),
+            ),
+        )
+    return result
+
+
+def _spitz_verified_write(
+    writer: VerifiedWriter, key: bytes, value: bytes
+):
+    """One verified write under the deferred scheme (Section 5.3)."""
+    writer.put(key, value)
+
+
+def _baseline_verified_write(
+    base: BaselineLedgerDB, key: bytes, value: bytes
+):
+    base.put(key, value)
+    value_back, proof = base.get_verified(key)
+    if proof is None or not proof.verify(base.digest()):
+        raise AssertionError("baseline write proof failed")
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — range queries, 0.1% selectivity
+# ---------------------------------------------------------------------------
+
+def fig7_range(
+    sizes: Optional[List[int]] = None,
+    seed: int = 1,
+    selectivity: float = 0.001,
+) -> FigureResult:
+    sizes = sizes if sizes is not None else sizes_for(DEFAULT_SCALE)
+    result = FigureResult(
+        figure="Figure 7",
+        title=f"Range queries, selectivity {selectivity:.1%}",
+        x_label="#Records",
+        y_label="Throughput (ops/s)",
+    )
+    for n in sizes:
+        gen = WorkloadGenerator(n, seed=seed)
+        kvs = _load_kvs(gen)
+        spitz = _load_spitz(gen)
+        base = _load_baseline(gen)
+        _settle_gc()
+
+        scans = list(gen.range_scans(OPS_SCAN, selectivity))
+        slow_scans = scans[:OPS_BASELINE_VERIFY_SCAN]
+        verifier = ClientVerifier()
+        verifier.trust(spitz.digest())
+
+        result.series_named("Immutable KVS").add(
+            n,
+            _throughput_over(scans, lambda op: kvs.scan(op.key, op.high)),
+        )
+        result.series_named("Spitz").add(
+            n,
+            _throughput_over(
+                scans, lambda op: spitz.scan(op.key, op.high)
+            ),
+        )
+        result.series_named("Spitz-verify").add(
+            n,
+            _throughput_over(
+                scans,
+                lambda op: _spitz_verified_scan(
+                    spitz, verifier, op.key, op.high
+                ),
+            ),
+        )
+        result.series_named("Baseline").add(
+            n,
+            _throughput_over(
+                scans, lambda op: base.scan(op.key, op.high)
+            ),
+        )
+        baseline_root = base.digest()
+        result.series_named("Baseline-verify").add(
+            n,
+            _throughput_over(
+                slow_scans,
+                lambda op: _baseline_verified_scan(
+                    base, baseline_root, op.key, op.high
+                ),
+            ),
+        )
+    return result
+
+
+def _spitz_verified_scan(spitz, verifier, low: bytes, high: bytes):
+    _entries, proof = spitz.scan_verified(low, high)
+    verifier.verify_or_raise(proof)
+
+
+def _baseline_verified_scan(base, root, low: bytes, high: bytes):
+    _entries, proofs = base.scan_verified(low, high)
+    for proof in proofs:
+        if not proof.verify(root):
+            raise AssertionError("baseline range proof failed")
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — non-intrusive design vs Spitz
+# ---------------------------------------------------------------------------
+
+def fig8_nonintrusive(
+    sizes: Optional[List[int]] = None, seed: int = 1
+) -> Tuple[FigureResult, FigureResult]:
+    """Returns (read figure 8a, write figure 8b)."""
+    sizes = sizes if sizes is not None else sizes_for(DEFAULT_SCALE)
+    read_result = FigureResult(
+        figure="Figure 8(a)",
+        title="Non-intrusive vs Spitz: read",
+        x_label="#Records",
+        y_label="Throughput (ops/s)",
+    )
+    write_result = FigureResult(
+        figure="Figure 8(b)",
+        title="Non-intrusive vs Spitz: write",
+        x_label="#Records",
+        y_label="Throughput (ops/s)",
+    )
+    for n in sizes:
+        gen = WorkloadGenerator(n, seed=seed)
+        spitz = _load_spitz(gen)
+        noni = _load_nonintrusive(gen)
+        _settle_gc()
+
+        reads = list(gen.reads(OPS_DEFAULT))
+        writes = list(gen.writes(OPS_WRITE))
+        verifier = ClientVerifier()
+        verifier.trust(spitz.digest())
+        ni_verifier = ClientVerifier()
+        ni_verifier.trust(noni.digest())
+
+        read_result.series_named("Spitz").add(
+            n, _throughput_over(reads, lambda op: spitz.get(op.key))
+        )
+        read_result.series_named("Spitz-verify").add(
+            n,
+            _throughput_over(
+                reads,
+                lambda op: _spitz_verified_read(spitz, verifier, op.key),
+            ),
+        )
+        read_result.series_named("Non-intrusive").add(
+            n, _throughput_over(reads, lambda op: noni.get(op.key))
+        )
+        read_result.series_named("Non-intrusive-verify").add(
+            n,
+            _throughput_over(
+                reads,
+                lambda op: _nonintrusive_verified_read(
+                    noni, ni_verifier, op.key
+                ),
+            ),
+        )
+
+        write_result.series_named("Spitz").add(
+            n,
+            _throughput_over(
+                writes, lambda op: spitz.put(op.key, op.value)
+            ),
+        )
+        writer = VerifiedWriter(spitz, verifier, batch_size=128)
+        write_result.series_named("Spitz-verify").add(
+            n,
+            _throughput_over(
+                writes,
+                lambda op: _spitz_verified_write(writer, op.key, op.value),
+            ),
+        )
+        writer.flush()
+        write_result.series_named("Non-intrusive").add(
+            n,
+            _throughput_over(
+                writes, lambda op: noni.put(op.key, op.value)
+            ),
+        )
+        write_result.series_named("Non-intrusive-verify").add(
+            n,
+            _throughput_over(
+                writes,
+                lambda op: _nonintrusive_verified_write(
+                    noni, ni_verifier, op.key, op.value
+                ),
+            ),
+        )
+    return read_result, write_result
+
+
+def _nonintrusive_verified_read(noni, verifier, key: bytes):
+    value, proof, digest = noni.get_verified(key)
+    verifier.observe(digest)
+    verifier.verify_or_raise(proof)
+    return value
+
+
+def _nonintrusive_verified_write(noni, verifier, key: bytes, value: bytes):
+    digest = noni.put(key, value)
+    verifier.observe(digest)
+    proven, proof, _digest = noni.get_verified(key)
+    verifier.verify_or_raise(proof)
+
+
+# ---------------------------------------------------------------------------
+# command line
+# ---------------------------------------------------------------------------
+
+_RUNNERS = {
+    "1": lambda sizes: [fig1_storage()],
+    "6a": lambda sizes: [fig6_read(sizes)],
+    "6b": lambda sizes: [fig6_write(sizes)],
+    "7": lambda sizes: [fig7_range(sizes)],
+    "8": lambda sizes: list(fig8_nonintrusive(sizes)),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figure", default="all", choices=sorted(_RUNNERS) + ["all"]
+    )
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    parser.add_argument(
+        "--ladder", default=",".join(str(step) for step in LADDER),
+        help="comma-separated multipliers of --scale",
+    )
+    args = parser.parse_args(argv)
+    ladder = [int(part) for part in args.ladder.split(",")]
+    sizes = sizes_for(args.scale, ladder)
+    figures = (
+        sorted(_RUNNERS) if args.figure == "all" else [args.figure]
+    )
+    for figure in figures:
+        for result in _RUNNERS[figure](sizes):
+            print(result.format_table())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+A small operational surface over a snapshot-persisted Spitz database::
+
+    python -m repro.cli init mydb.spitz
+    python -m repro.cli put mydb.spitz account:alice 100
+    python -m repro.cli get mydb.spitz account:alice --verify
+    python -m repro.cli sql mydb.spitz "CREATE TABLE t (id INT, PRIMARY KEY (id))"
+    python -m repro.cli history mydb.spitz account:alice
+    python -m repro.cli audit mydb.spitz
+    python -m repro.cli digest mydb.spitz
+
+Every mutating command rewrites the snapshot; ``audit`` replays the
+whole chain; ``get --verify`` checks the proof against the snapshot's
+own digest and prints both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.audit import audit_ledger
+from repro.core.database import SpitzDatabase
+from repro.core.persistence import load_database, save_database
+from repro.core.verifier import ClientVerifier
+from repro.errors import SpitzError
+
+
+def _open(path: str) -> SpitzDatabase:
+    if not Path(path).exists():
+        raise SpitzError(
+            f"no database at {path}; run 'init {path}' first"
+        )
+    return load_database(path)
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    if Path(args.db).exists() and not args.force:
+        print(f"refusing to overwrite {args.db} (use --force)")
+        return 1
+    db = SpitzDatabase()
+    size = save_database(db, args.db)
+    print(f"initialized {args.db} ({size} bytes)")
+    return 0
+
+
+def cmd_put(args: argparse.Namespace) -> int:
+    db = _open(args.db)
+    block = db.put(args.key.encode(), args.value.encode())
+    save_database(db, args.db)
+    print(f"ok: sealed block #{block.height}")
+    return 0
+
+
+def cmd_get(args: argparse.Namespace) -> int:
+    db = _open(args.db)
+    if args.verify:
+        value, proof = db.get_verified(args.key.encode())
+        verifier = ClientVerifier()
+        verifier.trust(db.digest())
+        ok = verifier.verify(proof)
+        state = "VERIFIED" if ok else "VERIFICATION FAILED"
+        rendered = value.decode(errors="replace") if value else "(absent)"
+        print(f"{rendered}  [{state}; {len(proof.siri.nodes)} proof nodes]")
+        return 0 if ok else 2
+    value = db.get(args.key.encode())
+    print(value.decode(errors="replace") if value else "(absent)")
+    return 0
+
+
+def cmd_delete(args: argparse.Namespace) -> int:
+    db = _open(args.db)
+    block = db.delete(args.key.encode())
+    save_database(db, args.db)
+    print(f"ok: sealed block #{block.height}")
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    db = _open(args.db)
+    for key, value in db.scan(args.low.encode(), args.high.encode()):
+        print(f"{key.decode(errors='replace')}\t"
+              f"{value.decode(errors='replace')}")
+    return 0
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    db = _open(args.db)
+    for timestamp, value in db.history(args.key.encode()):
+        print(f"ts {timestamp}: {value.decode(errors='replace')}")
+    return 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    db = _open(args.db)
+    result = db.sql(args.statement)
+    if isinstance(result, list):
+        for row in result:
+            print(row)
+        print(f"({len(result)} rows)")
+    elif isinstance(result, int):
+        print(f"({result} rows affected)")
+        save_database(db, args.db)
+    else:
+        height = getattr(result, "height", "?")
+        print(f"ok: sealed block #{height}")
+        save_database(db, args.db)
+    return 0
+
+
+def cmd_digest(args: argparse.Namespace) -> int:
+    db = _open(args.db)
+    digest = db.digest()
+    print(f"height: {digest.height}")
+    print(f"chain:  {digest.chain_digest.hex()}")
+    print(f"root:   {digest.tree_root.hex()}")
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    db = _open(args.db)
+    findings = audit_ledger(db.ledger)
+    if findings:
+        for finding in findings:
+            print(f"FINDING: {finding}")
+        return 2
+    print(f"clean: {db.ledger.height} blocks audited")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create an empty database snapshot")
+    p.add_argument("db")
+    p.add_argument("--force", action="store_true")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("put", help="write one key")
+    p.add_argument("db")
+    p.add_argument("key")
+    p.add_argument("value")
+    p.set_defaults(func=cmd_put)
+
+    p = sub.add_parser("get", help="read one key")
+    p.add_argument("db")
+    p.add_argument("key")
+    p.add_argument("--verify", action="store_true")
+    p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser("delete", help="delete one key (history kept)")
+    p.add_argument("db")
+    p.add_argument("key")
+    p.set_defaults(func=cmd_delete)
+
+    p = sub.add_parser("scan", help="range scan")
+    p.add_argument("db")
+    p.add_argument("low")
+    p.add_argument("high")
+    p.set_defaults(func=cmd_scan)
+
+    p = sub.add_parser("history", help="all versions of one key")
+    p.add_argument("db")
+    p.add_argument("key")
+    p.set_defaults(func=cmd_history)
+
+    p = sub.add_parser("sql", help="execute one SQL statement")
+    p.add_argument("db")
+    p.add_argument("statement")
+    p.set_defaults(func=cmd_sql)
+
+    p = sub.add_parser("digest", help="print the ledger digest")
+    p.add_argument("db")
+    p.set_defaults(func=cmd_digest)
+
+    p = sub.add_parser("audit", help="full-chain consistency audit")
+    p.add_argument("db")
+    p.set_defaults(func=cmd_audit)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SpitzError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Spitz core: the paper's primary contribution (Section 5).
+
+The control layer (request handler, auditor, transaction manager — one
+set per processor node) sits on a storage layer made of a virtual cell
+store over ForkBase, a SIRI-indexed ledger, a B+-tree access path and
+inverted indexes.  :class:`~repro.core.database.SpitzDatabase` is the
+public facade; :class:`~repro.core.verifier.ClientVerifier` is the
+client-side trust anchor.
+"""
+
+from repro.core.audit import (
+    ForkReport,
+    ProofBundle,
+    audit_ledger,
+    compare_replicas,
+    make_bundle,
+    verify_bundle,
+)
+from repro.core.cell_store import Cell, CellStore
+from repro.core.database import SpitzDatabase
+from repro.core.documents import Collection, DocumentStore
+from repro.core.persistence import load_database, save_database
+from repro.core.ledger import Block, LedgerDigest, SpitzLedger
+from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.core.schema import Column, TableSchema
+from repro.core.universal_key import UniversalKey
+from repro.core.verifier import ClientVerifier
+
+__all__ = [
+    "Block",
+    "Collection",
+    "DocumentStore",
+    "ForkReport",
+    "ProofBundle",
+    "audit_ledger",
+    "compare_replicas",
+    "load_database",
+    "make_bundle",
+    "save_database",
+    "verify_bundle",
+    "Cell",
+    "CellStore",
+    "ClientVerifier",
+    "Column",
+    "LedgerDigest",
+    "LedgerProof",
+    "LedgerRangeProof",
+    "SpitzDatabase",
+    "SpitzLedger",
+    "TableSchema",
+    "UniversalKey",
+]

@@ -1,0 +1,82 @@
+"""The auditor component.
+
+"The auditor communicates with the ledger in the storage layer to keep
+track of data changes" (Section 5).  In the write path it is step (2):
+"the auditor checks the write operations and updates the ledger.  The
+ledger records the changes and returns a proof to the auditor."  In
+the read path it is step (3): "the processor visits the ledger via the
+auditor, getting the proofs of the results."
+
+The auditor is also the only component awake in ledger-only mode (the
+non-intrusive deployment of Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import VerificationError
+from repro.core.ledger import Block, LedgerDigest, SpitzLedger
+from repro.core.proofs import LedgerProof, LedgerRangeProof
+
+
+class Auditor:
+    """Mediates every ledger interaction of one processor node."""
+
+    def __init__(self, ledger: SpitzLedger):
+        self._ledger = ledger
+        self.writes_recorded = 0
+        self.proofs_issued = 0
+
+    # -- write path (Section 5.1, step 2) --------------------------------
+
+    def record(
+        self,
+        writes: Mapping[bytes, object],
+        statements: Sequence[str] = (),
+    ) -> Tuple[Block, LedgerProof]:
+        """Check and record a write set; return block + witness proof.
+
+        The returned proof covers the first written key in the new
+        index instance — the ledger's acknowledgement that the batch
+        was sealed.  Callers wanting per-key proofs ask
+        :meth:`prove` afterwards.
+        """
+        self._check_writes(writes)
+        block = self._ledger.append_block(writes, statements)
+        self.writes_recorded += len(writes)
+        witness_key = next(iter(sorted(writes))) if writes else b""
+        _value, proof = self._ledger.get_with_proof(witness_key)
+        self.proofs_issued += 1
+        return block, proof
+
+    @staticmethod
+    def _check_writes(writes: Mapping[bytes, object]) -> None:
+        """The auditor "checks the write operations": structural
+        validation before anything reaches the ledger."""
+        for key in writes:
+            if not isinstance(key, bytes) or not key:
+                raise VerificationError(
+                    f"auditor rejected write with invalid key {key!r}"
+                )
+
+    # -- read path (Section 5.1, step 3) ----------------------------------
+
+    def prove(self, key: bytes) -> Tuple[Optional[bytes], LedgerProof]:
+        """Fetch the proof (and value) for one key."""
+        self.proofs_issued += 1
+        return self._ledger.get_with_proof(key)
+
+    def prove_range(
+        self, low: bytes, high: bytes
+    ) -> Tuple[List[Tuple[bytes, bytes]], LedgerRangeProof]:
+        """Fetch entries + one covering proof for a key range."""
+        self.proofs_issued += 1
+        return self._ledger.scan_with_proof(low, high)
+
+    def digest(self) -> LedgerDigest:
+        return self._ledger.digest()
+
+    def audit_chain(self) -> bool:
+        """Full-history consistency check of the block chain."""
+        return self._ledger.verify_chain()

@@ -1,0 +1,798 @@
+"""SpitzDatabase: the public facade.
+
+Wires the paper's two layers together (Section 5, Figure 5):
+
+- **storage layer** — one shared chunk store holding the deduplicated
+  cell values *and* the ledger's POS-tree nodes; the virtual cell
+  store; the B+-tree primary access path; inverted indexes for
+  analytics;
+- **control layer** — a transaction manager (MVCC + pluggable
+  certifier) whose committed write sets are folded into the storage
+  layer and sealed into ledger blocks (the auditor's job).
+
+Two write paths exist, both funnelling through :meth:`_commit`:
+
+1. *auto-commit* operations (``put``/``insert``/...) — each call is
+   one block, matching the paper's single-threaded evaluation;
+2. *transactional sessions* (:meth:`transaction`) — buffered writes
+   certified by the concurrency-control layer, sealed as one block at
+   commit.
+
+``ledger_only=True`` wakes up only the auditor/ledger half, which is
+how Spitz serves as the ledger database of the non-intrusive design
+(Section 5.1: "the system can be applied into a non-intrusive design
+... by solely waking up the auditor in the processor").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.crypto.hashing import Digest
+from repro.errors import QueryError, SchemaError
+from repro.forkbase.chunk_store import ChunkStore
+from repro.indexes.bplus import BPlusTree
+from repro.indexes.inverted import InvertedIndex
+from repro.indexes.siri import DELETE
+from repro.txn.manager import (
+    IsolationLevel,
+    Transaction,
+    TransactionManager,
+)
+from repro.txn.mvcc import Version
+from repro.core.cell_store import Cell, CellStore
+from repro.core.ledger import Block, LedgerDigest, SpitzLedger
+from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.core.query import (
+    AccessPath,
+    Condition,
+    Op,
+    Plan,
+    plan_query,
+    range_bounds,
+)
+from repro.core.schema import (
+    DOC_PREFIX,
+    KV_PREFIX,
+    ROW_COLUMN,
+    TABLE_PREFIX,
+    TableSchema,
+    decode_value,
+    encode_pk,
+    encode_value,
+)
+from repro.core import sql as sql_module
+from repro.core.universal_key import UniversalKey
+
+_KV_COLUMN = "default"
+
+
+class SpitzDatabase:
+    """A single-node Spitz instance (see module docstring)."""
+
+    def __init__(
+        self,
+        mask_bits: int = 3,
+        ledger_only: bool = False,
+        certifier: Optional[object] = None,
+        block_batch: int = 1,
+    ):
+        if block_batch < 1:
+            raise ValueError("block_batch must be positive")
+        self.chunks = ChunkStore()
+        self.ledger = SpitzLedger(self.chunks, mask_bits)
+        self.ledger_only = ledger_only
+        self.cells = CellStore(self.chunks)
+        self.primary = BPlusTree()
+        self.inverted = InvertedIndex()
+        self.txn_manager = TransactionManager(certifier=certifier)
+        self.oracle = self.txn_manager.oracle
+        self.txn_manager.add_commit_listener(self._on_txn_commit)
+        self._tables: Dict[str, TableSchema] = {}
+        # Section 5.3's deferred scheme on the write side: with
+        # ``block_batch > 1``, cells and indexes update immediately but
+        # ledger writes accumulate and seal as one block per batch
+        # (flushed automatically before any proof/digest/temporal
+        # operation, so verification always sees a sealed state).
+        self.block_batch = block_batch
+        self._pending_writes: Dict[bytes, object] = {}
+        self._pending_statements: list = []
+
+    # ------------------------------------------------------------------
+    # central commit pipeline
+    # ------------------------------------------------------------------
+
+    def _commit(
+        self,
+        writes: Mapping[bytes, object],
+        statements: Tuple[str, ...] = (),
+        timestamp: Optional[int] = None,
+        install_mvcc: bool = True,
+    ) -> Block:
+        """Fold a write set into cells/indexes and seal a ledger block.
+
+        ``writes`` maps logical keys to value bytes or DELETE.  This is
+        the paper's write path: (2) auditor updates the ledger, (3)
+        processor traverses the index and writes the cell store.
+        """
+        # Serialize with transactional commits so MVCC installs stay in
+        # timestamp order (the lock is re-entrant: the commit-listener
+        # path already holds it).
+        with self.txn_manager.commit_lock:
+            return self._commit_locked(
+                writes, statements, timestamp, install_mvcc
+            )
+
+    def _commit_locked(
+        self,
+        writes: Mapping[bytes, object],
+        statements: Tuple[str, ...],
+        timestamp: Optional[int],
+        install_mvcc: bool,
+    ) -> Block:
+        timestamp = (
+            timestamp if timestamp is not None
+            else self.oracle.next_timestamp()
+        )
+        if not self.ledger_only:
+            for logical_key, value in writes.items():
+                column, primary_key = _parse_logical_key(logical_key)
+                if value is DELETE:
+                    self._unindex(logical_key, column, primary_key)
+                    if logical_key in self.primary:
+                        self.primary.delete(logical_key)
+                    continue
+                self._unindex(logical_key, column, primary_key)
+                ukey = self.cells.put(
+                    column, primary_key, timestamp, value
+                )
+                self.primary.insert(logical_key, ukey.encode())
+                self._index(column, value, ukey)
+            if install_mvcc:
+                mvcc_writes = {
+                    key: (Version.TOMBSTONE if value is DELETE else value)
+                    for key, value in writes.items()
+                }
+                self.txn_manager.store.install(
+                    mvcc_writes, timestamp, txn_id=0
+                )
+        if self.block_batch == 1 and not self._pending_writes:
+            return self.ledger.append_block(writes, statements)
+        self._pending_writes.update(writes)
+        self._pending_statements.extend(statements)
+        if len(self._pending_writes) >= self.block_batch:
+            return self.flush_ledger()
+        return self.ledger.latest_block()
+
+    def flush_ledger(self) -> Block:
+        """Seal pending ledger writes into a block (no-op-safe)."""
+        if self._pending_writes:
+            block = self.ledger.append_block(
+                self._pending_writes, tuple(self._pending_statements)
+            )
+            self._pending_writes = {}
+            self._pending_statements = []
+            return block
+        return self.ledger.latest_block()
+
+    def _on_txn_commit(self, txn: Transaction) -> None:
+        if not txn.write_buffer:
+            return
+        writes = {
+            key: (
+                DELETE
+                if isinstance(value, str) and value == Version.TOMBSTONE
+                else value
+            )
+            for key, value in txn.write_buffer.items()
+        }
+        self._commit(
+            writes,
+            statements=(f"txn:{txn.txn_id}",),
+            timestamp=txn.commit_ts,
+            install_mvcc=False,  # the manager already installed them
+        )
+
+    def _index(self, column: str, value: bytes, ukey: UniversalKey) -> None:
+        """Maintain the inverted index for typed table cells."""
+        if "." not in column:
+            return  # KV cells are not value-indexed
+        decoded = _try_decode(value)
+        if isinstance(decoded, (int, float, str)) and not isinstance(
+            decoded, bool
+        ):
+            self.inverted.add(column, decoded, ukey.encode())
+
+    def _unindex(
+        self, logical_key: bytes, column: str, primary_key: bytes
+    ) -> None:
+        if "." not in column:
+            return
+        previous = self.cells.latest(column, primary_key)
+        if previous is None:
+            return
+        decoded = _try_decode(previous.value)
+        if isinstance(decoded, (int, float, str)) and not isinstance(
+            decoded, bool
+        ):
+            self.inverted.remove(column, decoded, previous.ukey.encode())
+
+    # ------------------------------------------------------------------
+    # key-value API (column "default"; the paper's Section 6 workloads)
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> Block:
+        """Auto-commit write of one key (one ledger block)."""
+        return self._commit({KV_PREFIX + key: value})
+
+    def put_batch(self, items: Mapping[bytes, bytes]) -> Block:
+        """Write many keys as a single block (deferred-style batching)."""
+        return self._commit(
+            {KV_PREFIX + key: value for key, value in items.items()}
+        )
+
+    def put_with_proof(
+        self, key: bytes, value: bytes
+    ) -> Tuple[Block, LedgerProof]:
+        """Write plus inclusion proof of the new value (step 4 of the
+        paper's write path: results combined with the proof)."""
+        block = self.put(key, value)
+        _value, proof = self.ledger.get_with_proof(KV_PREFIX + key)
+        return block, proof
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Unverified read via the B+-tree access path."""
+        encoded = self.primary.get_optional(KV_PREFIX + key)
+        if encoded is None:
+            return None
+        cell = self.cells.get_by_encoded(encoded)
+        return cell.value if cell is not None else None
+
+    def get_verified(
+        self, key: bytes
+    ) -> Tuple[Optional[bytes], LedgerProof]:
+        """Read plus proof from the unified ledger index (one walk)."""
+        self.flush_ledger()
+        return self.ledger.get_with_proof(KV_PREFIX + key)
+
+    def delete(self, key: bytes) -> Block:
+        """Logical delete; history stays in earlier ledger blocks."""
+        return self._commit({KV_PREFIX + key: DELETE})
+
+    def scan(
+        self, low: bytes, high: bytes
+    ) -> List[Tuple[bytes, bytes]]:
+        """Unverified range scan via the B+-tree."""
+        results: List[Tuple[bytes, bytes]] = []
+        for logical_key, encoded in self.primary.range(
+            KV_PREFIX + low, KV_PREFIX + high
+        ):
+            cell = self.cells.get_by_encoded(encoded)
+            if cell is not None:
+                results.append((logical_key[len(KV_PREFIX):], cell.value))
+        return results
+
+    def scan_verified(
+        self, low: bytes, high: bytes
+    ) -> Tuple[List[Tuple[bytes, bytes]], LedgerRangeProof]:
+        """Range scan plus one covering proof (Section 6.2.2)."""
+        self.flush_ledger()
+        entries, proof = self.ledger.scan_with_proof(
+            KV_PREFIX + low, KV_PREFIX + high
+        )
+        stripped = [
+            (key[len(KV_PREFIX):], value) for key, value in entries
+        ]
+        return stripped, proof
+
+    def history(self, key: bytes) -> List[Tuple[int, bytes]]:
+        """(timestamp, value) for every version ever written."""
+        return [
+            (cell.ukey.timestamp, cell.value)
+            for cell in self.cells.versions(_KV_COLUMN, key)
+        ]
+
+    def get_at_block(self, key: bytes, height: int) -> Optional[bytes]:
+        """Historical read from block ``height``'s index instance."""
+        self.flush_ledger()
+        return self.ledger.get_at(KV_PREFIX + key, height)
+
+    def get_at_block_verified(
+        self, key: bytes, height: int
+    ) -> Tuple[Optional[bytes], LedgerProof]:
+        self.flush_ledger()
+        return self.ledger.get_at_with_proof(KV_PREFIX + key, height)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def transaction(
+        self, isolation: Optional[IsolationLevel] = None
+    ) -> "KvTransaction":
+        """Open a transactional session over the KV namespace."""
+        return KvTransaction(self, self.txn_manager.begin(isolation))
+
+    # ------------------------------------------------------------------
+    # ledger / verification plumbing
+    # ------------------------------------------------------------------
+
+    def digest(self) -> LedgerDigest:
+        self.flush_ledger()
+        return self.ledger.digest()
+
+    def verify_chain(self) -> bool:
+        self.flush_ledger()
+        return self.ledger.verify_chain()
+
+    # ------------------------------------------------------------------
+    # table API
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        self._tables[schema.name] = schema
+        self.ledger.append_block(
+            {},
+            statements=(
+                f"CREATE TABLE {schema.name} "
+                f"({', '.join(f'{c.name} {c.type}' for c in schema.columns)}"
+                f", PRIMARY KEY ({schema.primary_key}))",
+            ),
+        )
+
+    def table(self, name: str) -> TableSchema:
+        schema = self._tables.get(name)
+        if schema is None:
+            raise SchemaError(f"unknown table {name!r}")
+        return schema
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def insert(self, table: str, row: Dict[str, Any]) -> Block:
+        """Insert one full row (one ledger block)."""
+        schema = self.table(table)
+        schema.validate_row(row)
+        pk = schema.pk_bytes(row)
+        writes: Dict[bytes, object] = {
+            schema.logical_key(ROW_COLUMN, pk): b"1"
+        }
+        for column in schema.columns:
+            writes[schema.logical_key(column.name, pk)] = encode_value(
+                column.type, row[column.name]
+            )
+        return self._commit(
+            writes, statements=(f"INSERT INTO {table}",)
+        )
+
+    def update(
+        self,
+        table: str,
+        assignments: Mapping[str, Any],
+        conditions: Tuple[Condition, ...] = (),
+    ) -> int:
+        """Update matching rows; returns the number updated."""
+        schema = self.table(table)
+        for column_name, value in assignments.items():
+            column = schema.column(column_name)
+            if column_name == schema.primary_key:
+                raise QueryError("cannot update the primary key")
+        matches = self.select(table, conditions)
+        for row in matches:
+            pk = schema.pk_bytes(row)
+            writes = {
+                schema.logical_key(name, pk): encode_value(
+                    schema.column(name).type, value
+                )
+                for name, value in assignments.items()
+            }
+            self._commit(writes, statements=(f"UPDATE {table}",))
+        return len(matches)
+
+    def delete_rows(
+        self, table: str, conditions: Tuple[Condition, ...] = ()
+    ) -> int:
+        """Delete matching rows; returns the number deleted."""
+        schema = self.table(table)
+        matches = self.select(table, conditions)
+        for row in matches:
+            pk = schema.pk_bytes(row)
+            writes: Dict[bytes, object] = {
+                schema.logical_key(ROW_COLUMN, pk): DELETE
+            }
+            for column in schema.columns:
+                writes[schema.logical_key(column.name, pk)] = DELETE
+            self._commit(writes, statements=(f"DELETE FROM {table}",))
+        return len(matches)
+
+    def select(
+        self,
+        table: str,
+        conditions: Tuple[Condition, ...] = (),
+        columns: Tuple[str, ...] = ("*",),
+        as_of_block: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, Any]]:
+        """Execute a query via the planner's chosen access path."""
+        schema = self.table(table)
+        if as_of_block is not None:
+            rows = self._select_as_of(schema, conditions, as_of_block)
+        else:
+            rows = self._select_current(schema, conditions)
+        if limit is not None:
+            rows = rows[:limit]
+        if columns == ("*",):
+            return rows
+        for name in columns:
+            schema.column(name)  # validate
+        return [
+            {name: row[name] for name in columns} for row in rows
+        ]
+
+    def _select_current(
+        self, schema: TableSchema, conditions: Tuple[Condition, ...]
+    ) -> List[Dict[str, Any]]:
+        plan = plan_query(conditions, schema.primary_key)
+        pks = self._candidate_pks(schema, plan)
+        rows: List[Dict[str, Any]] = []
+        for pk in pks:
+            row = self._load_row(schema, pk)
+            if row is None:
+                continue
+            if all(c.matches(row.get(c.column)) for c in plan.residual):
+                rows.append(row)
+        return rows
+
+    def _candidate_pks(
+        self, schema: TableSchema, plan: Plan
+    ) -> List[bytes]:
+        pk_type = schema.column(schema.primary_key).type
+        if plan.path is AccessPath.PRIMARY_POINT:
+            return [schema.pk_bytes(plan.driver.value)]
+        if plan.path is AccessPath.PRIMARY_RANGE:
+            low_value, high_value = range_bounds(plan.driver)
+            low = (
+                encode_pk(pk_type, low_value)
+                if low_value is not None
+                else b""
+            )
+            high = (
+                encode_pk(pk_type, high_value)
+                if high_value is not None
+                else b"\xff" * 40
+            )
+            low_key = schema.logical_key(ROW_COLUMN, low)
+            high_key = schema.logical_key(ROW_COLUMN, high)
+            prefix_len = len(schema.logical_key(ROW_COLUMN, b""))
+            return [
+                logical_key[prefix_len:]
+                for logical_key, _enc in self.primary.range(
+                    low_key, high_key
+                )
+            ]
+        if plan.path in (
+            AccessPath.INVERTED_POINT, AccessPath.INVERTED_RANGE
+        ):
+            column = schema.cell_column(plan.driver.column)
+            if plan.path is AccessPath.INVERTED_POINT:
+                ukeys = self.inverted.lookup(column, plan.driver.value)
+            else:
+                low_value, high_value = range_bounds(plan.driver)
+                sample = plan.driver.value
+                if low_value is None:
+                    low_value = "" if isinstance(sample, str) else (
+                        float("-inf")
+                    )
+                if high_value is None:
+                    high_value = "\U0010ffff" * 4 if isinstance(
+                        sample, str
+                    ) else float("inf")
+                ukeys = self.inverted.range(column, low_value, high_value)
+            pks: List[bytes] = []
+            seen = set()
+            for encoded in ukeys:
+                ukey = UniversalKey.decode(encoded)
+                if ukey.primary_key not in seen:
+                    seen.add(ukey.primary_key)
+                    pks.append(ukey.primary_key)
+            return pks
+        # FULL_SCAN: walk the _row presence column.
+        prefix = schema.logical_key(ROW_COLUMN, b"")
+        return [
+            logical_key[len(prefix):]
+            for logical_key, _enc in self.primary.range(
+                prefix, prefix + b"\xff" * 40
+            )
+        ]
+
+    def _load_row(
+        self, schema: TableSchema, pk: bytes
+    ) -> Optional[Dict[str, Any]]:
+        presence = self.primary.get_optional(
+            schema.logical_key(ROW_COLUMN, pk)
+        )
+        if presence is None:
+            return None
+        row: Dict[str, Any] = {}
+        for column in schema.columns:
+            cell = self.cells.latest(schema.cell_column(column.name), pk)
+            if cell is None:
+                return None
+            row[column.name] = decode_value(cell.value)
+        return row
+
+    def _select_as_of(
+        self,
+        schema: TableSchema,
+        conditions: Tuple[Condition, ...],
+        height: int,
+    ) -> List[Dict[str, Any]]:
+        """Temporal query against block ``height``'s index instance."""
+        self.flush_ledger()
+        tree = self.ledger.tree_at(height)
+        prefix = schema.logical_key(ROW_COLUMN, b"")
+        rows: List[Dict[str, Any]] = []
+        for logical_key, _flag in tree.scan(prefix, prefix + b"\xff" * 40):
+            pk = logical_key[len(prefix):]
+            row: Dict[str, Any] = {}
+            complete = True
+            for column in schema.columns:
+                value = tree.get(schema.logical_key(column.name, pk))
+                if value is None:
+                    complete = False
+                    break
+                row[column.name] = decode_value(value)
+            if complete and all(
+                c.matches(row.get(c.column)) for c in conditions
+            ):
+                rows.append(row)
+        return rows
+
+    def select_verified(
+        self,
+        table: str,
+        pk_low: Any,
+        pk_high: Any,
+        columns: Tuple[str, ...] = ("*",),
+    ) -> Tuple[List[Dict[str, Any]], List[LedgerRangeProof]]:
+        """Verified pk-range select: one range proof per column.
+
+        Ledger keys group by column then primary key, so each column's
+        pk range is one contiguous ledger scan — the batched proof
+        retrieval of Section 6.2.2.
+        """
+        schema = self.table(table)
+        self.flush_ledger()
+        wanted = (
+            [c.name for c in schema.columns]
+            if columns == ("*",)
+            else list(columns)
+        )
+        low = schema.pk_bytes(pk_low)
+        high = schema.pk_bytes(pk_high)
+        proofs: List[LedgerRangeProof] = []
+        per_pk: Dict[bytes, Dict[str, Any]] = {}
+        for name in wanted:
+            entries, proof = self.ledger.scan_with_proof(
+                schema.logical_key(name, low),
+                schema.logical_key(name, high),
+            )
+            proofs.append(proof)
+            prefix_len = len(schema.logical_key(name, b""))
+            for logical_key, value in entries:
+                pk = logical_key[prefix_len:]
+                per_pk.setdefault(pk, {})[name] = decode_value(value)
+        rows = [
+            per_pk[pk]
+            for pk in sorted(per_pk)
+            if len(per_pk[pk]) == len(wanted)
+        ]
+        return rows, proofs
+
+    def row_history(
+        self, table: str, pk_value: Any
+    ) -> List[Tuple[int, Optional[Dict[str, Any]]]]:
+        """(block height, row dict or None) whenever the row changed."""
+        schema = self.table(table)
+        pk = schema.pk_bytes(pk_value)
+        presence_key = schema.logical_key(ROW_COLUMN, pk)
+        self.flush_ledger()
+        out: List[Tuple[int, Optional[Dict[str, Any]]]] = []
+        previous: object = _SENTINEL
+        for height in range(self.ledger.height):
+            tree = self.ledger.tree_at(height)
+            if tree.get(presence_key) is None:
+                row: Optional[Dict[str, Any]] = None
+            else:
+                row = {}
+                for column in schema.columns:
+                    value = tree.get(schema.logical_key(column.name, pk))
+                    if value is not None:
+                        row[column.name] = decode_value(value)
+            if row != previous:
+                out.append((height, row))
+                previous = row
+        return out
+
+    # ------------------------------------------------------------------
+    # SQL entry point
+    # ------------------------------------------------------------------
+
+    def sql(self, text: str):
+        """Parse and execute one SQL statement.
+
+        Returns: rows for SELECT, the ledger block for INSERT/CREATE,
+        and the affected-row count for UPDATE/DELETE.
+        """
+        statement = sql_module.parse(text)
+        if isinstance(statement, sql_module.CreateTable):
+            schema = TableSchema.make(
+                statement.table,
+                list(statement.columns),
+                statement.primary_key,
+            )
+            self.create_table(schema)
+            return self.ledger.latest_block()
+        if isinstance(statement, sql_module.Insert):
+            row = dict(zip(statement.columns, statement.values))
+            return self.insert(statement.table, row)
+        if isinstance(statement, sql_module.Select):
+            if statement.aggregate is not None:
+                return self._select_aggregate(statement)
+            if statement.order_by is None:
+                return self.select(
+                    statement.table,
+                    statement.where,
+                    statement.columns,
+                    as_of_block=statement.as_of_block,
+                    limit=statement.limit,
+                )
+            # Sort on full rows (the ORDER BY column need not be
+            # projected), then apply LIMIT and the projection.
+            column, descending = statement.order_by
+            schema = self.table(statement.table)
+            schema.column(column)  # validate
+            rows = self.select(
+                statement.table,
+                statement.where,
+                ("*",),
+                as_of_block=statement.as_of_block,
+            )
+            rows.sort(key=lambda row: row[column], reverse=descending)
+            if statement.limit is not None:
+                rows = rows[:statement.limit]
+            if statement.columns == ("*",):
+                return rows
+            for name in statement.columns:
+                schema.column(name)
+            return [
+                {name: row[name] for name in statement.columns}
+                for row in rows
+            ]
+        if isinstance(statement, sql_module.Update):
+            return self.update(
+                statement.table,
+                dict(statement.assignments),
+                statement.where,
+            )
+        if isinstance(statement, sql_module.Delete):
+            return self.delete_rows(statement.table, statement.where)
+        raise QueryError(f"unsupported statement {statement!r}")
+
+
+    def _select_aggregate(self, statement) -> List[Dict[str, Any]]:
+        """Execute a single-aggregate SELECT (optionally grouped)."""
+        function, target = statement.aggregate
+        schema = self.table(statement.table)
+        if target != "*":
+            schema.column(target)  # validate
+        if statement.group_by is not None:
+            schema.column(statement.group_by)
+        rows = self.select(
+            statement.table,
+            statement.where,
+            ("*",),
+            as_of_block=statement.as_of_block,
+        )
+        label = f"{function}({target})"
+        if statement.group_by is None:
+            return [{label: _aggregate(function, target, rows)}]
+        groups: Dict[Any, List[Dict[str, Any]]] = {}
+        for row in rows:
+            groups.setdefault(row[statement.group_by], []).append(row)
+        result = [
+            {
+                statement.group_by: group_value,
+                label: _aggregate(function, target, group_rows),
+            }
+            for group_value, group_rows in sorted(groups.items())
+        ]
+        if statement.limit is not None:
+            result = result[:statement.limit]
+        return result
+
+
+def _aggregate(function: str, target: str, rows) -> Any:
+    """Compute one aggregate over already-filtered rows."""
+    if function == "count":
+        if target == "*":
+            return len(rows)
+        return sum(1 for row in rows if row.get(target) is not None)
+    values = [row[target] for row in rows if row.get(target) is not None]
+    if not values:
+        return None
+    if function == "sum":
+        return sum(values)
+    if function == "avg":
+        return sum(values) / len(values)
+    if function == "min":
+        return min(values)
+    return max(values)
+
+
+class KvTransaction:
+    """Transactional KV session (reads snapshot, writes buffered).
+
+    Thin adapter translating user keys to logical keys; commit routes
+    through the node's certifier and seals one ledger block via the
+    commit listener.
+    """
+
+    def __init__(self, db: SpitzDatabase, txn: Transaction):
+        self._db = db
+        self._txn = txn
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        # Every committed write (auto-commit or transactional) is
+        # installed in the MVCC store, so the snapshot read is complete.
+        return self._txn.read(KV_PREFIX + key)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._txn.write(KV_PREFIX + key, value)
+
+    def delete(self, key: bytes) -> None:
+        self._txn.delete(KV_PREFIX + key)
+
+    def commit(self) -> int:
+        return self._txn.commit()
+
+    def abort(self) -> None:
+        self._txn.abort()
+
+    def __enter__(self) -> "KvTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return self._txn.__exit__(exc_type, exc, tb)
+
+
+class _Sentinel:
+    __slots__ = ()
+
+
+_SENTINEL = _Sentinel()
+
+
+def _parse_logical_key(logical_key: bytes) -> Tuple[str, bytes]:
+    """Split a logical key into (cell-store column, primary key)."""
+    if logical_key.startswith(KV_PREFIX):
+        return _KV_COLUMN, logical_key[len(KV_PREFIX):]
+    if logical_key.startswith(TABLE_PREFIX):
+        body = logical_key[len(TABLE_PREFIX):]
+        table, column, pk = body.split(b"\x00", 2)
+        return f"{table.decode('utf-8')}.{column.decode('utf-8')}", pk
+    if logical_key.startswith(DOC_PREFIX):
+        body = logical_key[len(DOC_PREFIX):]
+        collection, doc_id = body.split(b"\x00", 1)
+        return f"{collection.decode('utf-8')}#doc", doc_id
+    raise QueryError(f"malformed logical key {logical_key!r}")
+
+
+def _try_decode(value: bytes):
+    """Best-effort typed decode (None when the value is raw KV bytes)."""
+    try:
+        return decode_value(value)
+    except Exception:
+        return None

@@ -1,0 +1,300 @@
+"""The Spitz ledger.
+
+"This structure consists of a sequence of hashed blocks.  Each block
+tracks the modification of the records, query statements, metadata and
+the root node of the indexes on the entire dataset" (Section 5,
+*Ledger*).  Per Section 6.1, the ledger index is a SIRI instance —
+here a POS-tree — and "each block in the ledger stores a historical
+index instance, naturally composing a version of the ledger, and the
+nodes between instances can be shared".
+
+The crucial property: the ledger index is *unified* — the same
+traversal answers the query and yields the proof — which drives every
+Spitz-vs-baseline gap in Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import Digest, EMPTY_DIGEST, hash_many, hash_value
+from repro.crypto.merkle import HashChain, _node_hash
+from repro.errors import CommitNotFoundError
+from repro.forkbase.chunk_store import ChunkStore
+from repro.indexes.pos_tree import PosTree
+from repro.indexes.siri import DELETE
+from repro.core.proofs import BlockWitness, LedgerProof, LedgerRangeProof
+
+
+def block_digest_of(
+    height: int,
+    previous: Digest,
+    tree_root: Digest,
+    writes_digest: Digest,
+    statements_digest: Digest,
+) -> Digest:
+    """Digest of a block header (the chain links these)."""
+    return hash_value(
+        (
+            "spitz-block",
+            height,
+            bytes(previous),
+            bytes(tree_root),
+            bytes(writes_digest),
+            bytes(statements_digest),
+        )
+    )
+
+
+def chain_digest_of(previous: Digest, block_digest: Digest) -> Digest:
+    """Chain link function (shared with :class:`HashChain`)."""
+    return _node_hash(previous, block_digest)
+
+
+@dataclass(frozen=True)
+class Block:
+    """One sealed ledger block."""
+
+    height: int
+    previous_chain_digest: Digest
+    tree_root: Digest
+    writes_digest: Digest
+    statements_digest: Digest
+    chain_digest: Digest
+    write_count: int
+
+    def witness(self) -> BlockWitness:
+        return BlockWitness(
+            height=self.height,
+            previous_chain_digest=self.previous_chain_digest,
+            tree_root=self.tree_root,
+            writes_digest=self.writes_digest,
+            statements_digest=self.statements_digest,
+            chain_digest=self.chain_digest,
+        )
+
+
+@dataclass(frozen=True)
+class LedgerDigest:
+    """What a client pins after a verified interaction."""
+
+    height: int
+    chain_digest: Digest
+    tree_root: Digest
+
+
+class SpitzLedger:
+    """Hash-chained blocks, each embedding a POS-tree index instance."""
+
+    def __init__(
+        self, chunks: Optional[ChunkStore] = None, mask_bits: int = 3
+    ):
+        self.chunks = chunks if chunks is not None else ChunkStore()
+        self._tree = PosTree.empty(self.chunks, mask_bits)
+        self._chain = HashChain()
+        self._blocks: List[Block] = []
+        # Cached per-block trees for temporal queries (handles only —
+        # nodes are shared in the chunk store, so this is cheap).
+        self._trees: List[PosTree] = []
+        # Retained statement lists (the block header commits to their
+        # digest; keeping the plaintext enables provenance queries and
+        # stays auditable via statements_digest).
+        self._statements: List[Tuple[str, ...]] = []
+
+    # -- writes ------------------------------------------------------------
+
+    def append_block(
+        self,
+        writes: Mapping[bytes, object],
+        statements: Sequence[str] = (),
+    ) -> Block:
+        """Seal ``writes`` (values or DELETE) into a new block.
+
+        Returns the block; the new index instance shares all unchanged
+        nodes with the previous block's instance.
+        """
+        self._tree = self._tree.apply(writes)
+        height = len(self._blocks)
+        previous = self._chain.head
+        writes_digest = hash_many(
+            part
+            for key in sorted(writes)
+            for part in (
+                key,
+                b"\x00" if writes[key] is DELETE else writes[key],
+            )
+        )
+        statements_digest = hash_value(tuple(statements))
+        digest = block_digest_of(
+            height=height,
+            previous=previous,
+            tree_root=self._tree.root,
+            writes_digest=writes_digest,
+            statements_digest=statements_digest,
+        )
+        entry = self._chain.append(digest)
+        block = Block(
+            height=height,
+            previous_chain_digest=previous,
+            tree_root=self._tree.root,
+            writes_digest=writes_digest,
+            statements_digest=statements_digest,
+            chain_digest=entry.chain_digest,
+            write_count=len(writes),
+        )
+        self._blocks.append(block)
+        self._trees.append(self._tree)
+        self._statements.append(tuple(statements))
+        return block
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def tree(self) -> PosTree:
+        return self._tree
+
+    def digest(self) -> LedgerDigest:
+        """Current head digest (what clients save; Section 5.3)."""
+        return LedgerDigest(
+            height=len(self._blocks),
+            chain_digest=self._chain.head,
+            tree_root=self._tree.root,
+        )
+
+    def block(self, height: int) -> Block:
+        if not 0 <= height < len(self._blocks):
+            raise CommitNotFoundError(f"block #{height}")
+        return self._blocks[height]
+
+    def latest_block(self) -> Optional[Block]:
+        return self._blocks[-1] if self._blocks else None
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Unverified point read from the latest index instance."""
+        return self._tree.get(key)
+
+    def get_with_proof(
+        self, key: bytes
+    ) -> Tuple[Optional[bytes], LedgerProof]:
+        """Point read plus proof in one traversal (the unified index)."""
+        block = self._require_block()
+        value, siri = self._tree.get_with_proof(key)
+        return value, LedgerProof(siri=siri, block=block.witness())
+
+    def scan(self, low: bytes, high: bytes) -> List[Tuple[bytes, bytes]]:
+        return self._tree.scan(low, high)
+
+    def scan_with_proof(
+        self, low: bytes, high: bytes
+    ) -> Tuple[List[Tuple[bytes, bytes]], LedgerRangeProof]:
+        """Range scan plus one covering proof (Section 6.2.2)."""
+        block = self._require_block()
+        entries, range_proof = self._tree.scan_with_proof(low, high)
+        return entries, LedgerRangeProof(
+            range_proof=range_proof, block=block.witness()
+        )
+
+    def _require_block(self) -> Block:
+        if not self._blocks:
+            raise CommitNotFoundError("<empty ledger>")
+        return self._blocks[-1]
+
+    # -- temporal reads ------------------------------------------------------
+
+    def tree_at(self, height: int) -> PosTree:
+        """The index instance sealed by block ``height`` (0-based)."""
+        if not 0 <= height < len(self._trees):
+            raise CommitNotFoundError(f"block #{height}")
+        return self._trees[height]
+
+    def get_at(self, key: bytes, height: int) -> Optional[bytes]:
+        """Historical point read as of block ``height``."""
+        return self.tree_at(height).get(key)
+
+    def get_at_with_proof(
+        self, key: bytes, height: int
+    ) -> Tuple[Optional[bytes], LedgerProof]:
+        """Historical verified read: proof against block ``height``."""
+        block = self.block(height)
+        value, siri = self.tree_at(height).get_with_proof(key)
+        return value, LedgerProof(siri=siri, block=block.witness())
+
+    def key_history(self, key: bytes) -> List[Tuple[int, Optional[bytes]]]:
+        """(height, value) whenever ``key``'s value changed.
+
+        Walks the per-block index instances; absent/deleted states
+        appear as None.
+        """
+        changes: List[Tuple[int, Optional[bytes]]] = []
+        previous: Optional[bytes] = None
+        for height, tree in enumerate(self._trees):
+            value = tree.get(key)
+            if value != previous or not changes:
+                changes.append((height, value))
+            previous = value
+        return changes
+
+    # -- audit ---------------------------------------------------------------
+
+    def statements(self, height: int) -> Tuple[str, ...]:
+        """The query statements sealed in block ``height``.
+
+        The returned plaintext is checkable against the block header:
+        ``hash_value(statements)`` must equal ``statements_digest``.
+        """
+        if not 0 <= height < len(self._statements):
+            raise CommitNotFoundError(f"block #{height}")
+        return self._statements[height]
+
+    def extension_proof(self, from_height: int) -> List[BlockWitness]:
+        """Witnesses for every block after ``from_height``.
+
+        A client holding the trusted digest of block ``from_height - 1``
+        verifies, link by link, that the current digest *extends* its
+        trusted history (see
+        :meth:`~repro.core.verifier.ClientVerifier.advance`).  This is
+        the chain analogue of a Merkle consistency proof: without it a
+        client updating its digest has to take non-reordering on
+        faith.
+        """
+        if not 0 <= from_height <= len(self._blocks):
+            raise CommitNotFoundError(f"block #{from_height}")
+        return [
+            block.witness() for block in self._blocks[from_height:]
+        ]
+
+    def verify_chain(self) -> bool:
+        """Recompute every block digest and chain link from headers.
+
+        An auditor's full-history check: any rewritten header or
+        reordered block breaks a link.
+        """
+        running = EMPTY_DIGEST
+        for block in self._blocks:
+            if block.previous_chain_digest != running:
+                return False
+            digest = block_digest_of(
+                height=block.height,
+                previous=block.previous_chain_digest,
+                tree_root=block.tree_root,
+                writes_digest=block.writes_digest,
+                statements_digest=block.statements_digest,
+            )
+            running = chain_digest_of(running, digest)
+            if block.chain_digest != running:
+                return False
+        return running == self._chain.head
+
+    def storage_report(self) -> Dict[str, float]:
+        stats = self.chunks.stats
+        return {
+            "blocks": len(self._blocks),
+            "logical_bytes": stats.logical_bytes,
+            "physical_bytes": stats.physical_bytes,
+            "dedup_ratio": stats.dedup_ratio,
+        }

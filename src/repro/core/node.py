@@ -1,0 +1,140 @@
+"""Processor nodes and the global message queue.
+
+"The control layer consists of multiple processor nodes that accept
+and process requests from a global message queue.  Each node has three
+main components: a request handler, an auditor, and a transaction
+manager" (Section 5).  A master node coordinates (footnote 1); here
+the master is :class:`SpitzCluster`, which owns the shared storage
+layer and the queue and runs each processor in a thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.auditor import Auditor
+from repro.core.database import SpitzDatabase
+from repro.core.request_handler import Request, RequestHandler, Response
+
+
+@dataclass
+class Envelope:
+    """A request plus the completion event its client waits on."""
+
+    request: Request
+    response: Optional[Response] = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class MessageQueue:
+    """The global queue feeding the processor nodes."""
+
+    def __init__(self) -> None:
+        self._queue: "queue.Queue[Optional[Envelope]]" = queue.Queue()
+        self.submitted = 0
+
+    def submit(self, request: Request) -> Envelope:
+        envelope = Envelope(request=request)
+        self._queue.put(envelope)
+        self.submitted += 1
+        return envelope
+
+    def take(self, timeout: Optional[float] = None) -> Optional[Envelope]:
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def poison(self, count: int) -> None:
+        """Enqueue shutdown markers, one per node."""
+        for _ in range(count):
+            self._queue.put(None)
+
+
+class ProcessorNode:
+    """One control-layer node: request handler + auditor + TM.
+
+    The transaction manager is the shared database's manager (the
+    storage layer is common to all nodes; Section 5's consistency
+    across nodes is the 2PC layer's job, exercised in
+    :mod:`repro.txn.two_pc`).
+    """
+
+    def __init__(self, name: str, db: SpitzDatabase, mq: MessageQueue):
+        self.name = name
+        self.handler = RequestHandler(db)
+        self.auditor = Auditor(db.ledger)
+        self.txn_manager = db.txn_manager
+        self._mq = mq
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.processed = 0
+
+    def serve_one(self, timeout: float = 0.1) -> bool:
+        """Process one queued request; True if one was handled."""
+        envelope = self._mq.take(timeout=timeout)
+        if envelope is None:
+            return False
+        envelope.response = self.handler.handle(envelope.request)
+        self.processed += 1
+        envelope.done.set()
+        return True
+
+    def start(self) -> None:
+        """Run the serve loop in a daemon thread."""
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._serve_loop, name=f"spitz-node-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _serve_loop(self) -> None:
+        while not self._stop.is_set():
+            envelope = self._mq.take(timeout=0.05)
+            if envelope is None:
+                if self._mq.submitted and self._stop.is_set():
+                    break
+                continue
+            envelope.response = self.handler.handle(envelope.request)
+            self.processed += 1
+            envelope.done.set()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+
+class SpitzCluster:
+    """The master: shared storage layer + N processor nodes + queue."""
+
+    def __init__(self, nodes: int = 2, mask_bits: int = 5):
+        if nodes < 1:
+            raise ValueError("need at least one processor node")
+        self.db = SpitzDatabase(mask_bits=mask_bits)
+        self.queue = MessageQueue()
+        self.nodes: List[ProcessorNode] = [
+            ProcessorNode(f"p{i}", self.db, self.queue)
+            for i in range(nodes)
+        ]
+
+    def start(self) -> None:
+        for node in self.nodes:
+            node.start()
+
+    def stop(self) -> None:
+        for node in self.nodes:
+            node.stop()
+
+    def submit(self, request: Request, timeout: float = 10.0) -> Response:
+        """Send a request through the queue and await its response."""
+        envelope = self.queue.submit(request)
+        if not envelope.done.wait(timeout=timeout):
+            raise TimeoutError("no processor node answered in time")
+        assert envelope.response is not None
+        return envelope.response

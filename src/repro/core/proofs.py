@@ -1,0 +1,137 @@
+"""Ledger proof objects.
+
+A Spitz proof binds three layers (Section 5.3):
+
+1. the **SIRI path** — the POS-tree nodes from the block's index root
+   down to the queried entry;
+2. the **block** — the header whose digest commits to that index root;
+3. the **chain** — the hash-chain digest that commits to the block.
+
+A client holding a trusted :class:`~repro.core.ledger.LedgerDigest`
+can therefore detect tampering with the value, with the index, with
+the block, or with history ordering, by recomputing digests bottom-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.hashing import Digest
+from repro.indexes.pos_tree import PosRangeProof, PosTree
+from repro.indexes.siri import SiriProof
+
+
+@dataclass(frozen=True)
+class BlockWitness:
+    """The block-header fields a proof needs to re-derive the block
+    digest, plus the chain digest the block was sealed under."""
+
+    height: int
+    previous_chain_digest: Digest
+    tree_root: Digest
+    writes_digest: Digest
+    statements_digest: Digest
+    chain_digest: Digest
+
+
+@dataclass(frozen=True)
+class LedgerProof:
+    """Proof for one point read (or proven absence)."""
+
+    siri: SiriProof
+    block: BlockWitness
+
+    @property
+    def key(self) -> bytes:
+        return self.siri.key
+
+    @property
+    def value(self) -> Optional[bytes]:
+        return self.siri.value
+
+    @property
+    def size_bytes(self) -> int:
+        return self.siri.size_bytes + 6 * 32 + 8
+
+    def verify(
+        self,
+        trusted_chain_digest: Digest,
+        node_cache: Optional[dict] = None,
+        block_cache: Optional[set] = None,
+    ) -> bool:
+        """Check the full binding against a trusted chain digest.
+
+        ``node_cache``/``block_cache`` (managed by
+        :class:`~repro.core.verifier.ClientVerifier`) memoize
+        already-verified index nodes and block headers across proofs —
+        the cost model behind Section 5.3's deferred scheme.
+        """
+        if self.block.chain_digest != trusted_chain_digest:
+            return False
+        if not _check_block(self.block, block_cache):
+            return False
+        return PosTree.verify_proof(
+            self.siri, self.block.tree_root, node_cache
+        )
+
+
+@dataclass(frozen=True)
+class LedgerRangeProof:
+    """Proof covering every entry of a range scan in one object.
+
+    This is what makes verified range queries cheap in Spitz
+    (Section 6.2.2): the proof is gathered during the same traversal
+    that produced the results, instead of one journal search per
+    record.
+    """
+
+    range_proof: PosRangeProof
+    block: BlockWitness
+
+    @property
+    def entries(self) -> Tuple[Tuple[bytes, bytes], ...]:
+        return self.range_proof.entries
+
+    @property
+    def size_bytes(self) -> int:
+        return self.range_proof.size_bytes + 6 * 32 + 8
+
+    def verify(
+        self,
+        trusted_chain_digest: Digest,
+        node_cache: Optional[dict] = None,
+        block_cache: Optional[set] = None,
+    ) -> bool:
+        if self.block.chain_digest != trusted_chain_digest:
+            return False
+        if not _check_block(self.block, block_cache):
+            return False
+        return self.range_proof.verify(self.block.tree_root, node_cache)
+
+
+def _check_block(block: BlockWitness, block_cache: Optional[set]) -> bool:
+    """Recompute a block's digest + chain link (memoized per witness).
+
+    Imports locally to avoid a module cycle with the ledger, which
+    owns the block-digest recipe.
+    """
+    from repro.core.ledger import block_digest_of, chain_digest_of
+
+    if block_cache is not None and block.chain_digest in block_cache:
+        return True
+    digest = block_digest_of(
+        height=block.height,
+        previous=block.previous_chain_digest,
+        tree_root=block.tree_root,
+        writes_digest=block.writes_digest,
+        statements_digest=block.statements_digest,
+    )
+    recomputed_chain = chain_digest_of(
+        block.previous_chain_digest, digest
+    )
+    if recomputed_chain != block.chain_digest:
+        return False
+    if block_cache is not None:
+        block_cache.add(block.chain_digest)
+    return True

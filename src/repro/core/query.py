@@ -1,0 +1,159 @@
+"""Query conditions, plans and the planner.
+
+Section 5.1's read path: point/range lookups go through the B+-tree or
+the ledger's unified index; analytical predicates on non-key columns
+go through the inverted indexes.  The planner here picks among those
+access paths from the WHERE conjunction, mirroring that description.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+
+
+class Op(enum.Enum):
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One predicate: ``column op value`` (or BETWEEN low AND high)."""
+
+    column: str
+    op: Op
+    value: Any
+    high: Any = None  # BETWEEN upper bound
+
+    def matches(self, row_value: Any) -> bool:
+        if self.op is Op.EQ:
+            return row_value == self.value
+        if self.op is Op.NE:
+            return row_value != self.value
+        if self.op is Op.LT:
+            return row_value < self.value
+        if self.op is Op.LE:
+            return row_value <= self.value
+        if self.op is Op.GT:
+            return row_value > self.value
+        if self.op is Op.GE:
+            return row_value >= self.value
+        if self.op is Op.BETWEEN:
+            return self.value <= row_value <= self.high
+        raise QueryError(f"unknown operator {self.op}")
+
+
+class AccessPath(enum.Enum):
+    """How the executor will locate candidate rows."""
+
+    PRIMARY_POINT = "primary_point"
+    PRIMARY_RANGE = "primary_range"
+    INVERTED_POINT = "inverted_point"
+    INVERTED_RANGE = "inverted_range"
+    FULL_SCAN = "full_scan"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A chosen access path plus the residual predicates to filter."""
+
+    path: AccessPath
+    driver: Optional[Condition]
+    residual: Tuple[Condition, ...]
+
+
+def plan_query(
+    conditions: Sequence[Condition], primary_key: str
+) -> Plan:
+    """Pick the cheapest access path for a conjunction of conditions.
+
+    Priority order: primary-key equality, primary-key range,
+    inverted-index equality, inverted-index range, full scan — i.e.
+    prefer the B+-tree for key predicates and the inverted index for
+    value predicates, per Section 5.1.
+    """
+    conditions = tuple(conditions)
+    for condition in conditions:
+        if condition.column == primary_key and condition.op is Op.EQ:
+            return Plan(
+                path=AccessPath.PRIMARY_POINT,
+                driver=condition,
+                residual=_without(conditions, condition),
+            )
+    for condition in conditions:
+        if condition.column == primary_key and condition.op in (
+            Op.LT, Op.LE, Op.GT, Op.GE, Op.BETWEEN,
+        ):
+            return Plan(
+                path=AccessPath.PRIMARY_RANGE,
+                driver=condition,
+                residual=_residual_for_range(conditions, condition),
+            )
+    for condition in conditions:
+        if condition.op is Op.EQ:
+            return Plan(
+                path=AccessPath.INVERTED_POINT,
+                driver=condition,
+                residual=_without(conditions, condition),
+            )
+    for condition in conditions:
+        if condition.op in (Op.LT, Op.LE, Op.GT, Op.GE, Op.BETWEEN):
+            return Plan(
+                path=AccessPath.INVERTED_RANGE,
+                driver=condition,
+                residual=_residual_for_range(conditions, condition),
+            )
+    return Plan(path=AccessPath.FULL_SCAN, driver=None, residual=conditions)
+
+
+def _residual_for_range(
+    conditions: Tuple[Condition, ...], driver: Condition
+) -> Tuple[Condition, ...]:
+    """Residual filter for a range driver.
+
+    The index range is inclusive, so strict drivers (``<``, ``>``)
+    must also stay in the residual to reject boundary matches;
+    inclusive drivers (``<=``, ``>=``, ``BETWEEN``) are fully covered
+    by the range and are dropped.
+    """
+    if driver.op in (Op.LT, Op.GT):
+        return conditions
+    return _without(conditions, driver)
+
+
+def _without(
+    conditions: Tuple[Condition, ...], dropped: Condition
+) -> Tuple[Condition, ...]:
+    result: List[Condition] = []
+    skipped = False
+    for condition in conditions:
+        if condition is dropped and not skipped:
+            skipped = True
+            continue
+        result.append(condition)
+    return tuple(result)
+
+
+def range_bounds(condition: Condition) -> Tuple[Any, Any]:
+    """(low, high) inclusive bounds implied by a range condition.
+
+    Open-ended sides return None; strict bounds are handled by the
+    residual filter (the driver over-fetches by at most the boundary
+    value).
+    """
+    if condition.op is Op.BETWEEN:
+        return condition.value, condition.high
+    if condition.op in (Op.GT, Op.GE):
+        return condition.value, None
+    if condition.op in (Op.LT, Op.LE):
+        return None, condition.value
+    raise QueryError(f"{condition.op} is not a range operator")

@@ -1,0 +1,103 @@
+"""The request handler component and the request/response envelope.
+
+"The request handler accepts query requests and returns the results
+with the corresponding proofs" (Section 5).  Requests arrive from the
+global message queue; each is a small typed envelope so the simulated
+network layer (:mod:`repro.integration.simnet`) can serialize them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import QueryError, SpitzError
+from repro.core.database import SpitzDatabase
+from repro.core.ledger import LedgerDigest
+
+
+class RequestKind(enum.Enum):
+    GET = "get"
+    PUT = "put"
+    DELETE = "delete"
+    SCAN = "scan"
+    SQL = "sql"
+    HISTORY = "history"
+    DIGEST = "digest"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request.
+
+    ``verify=True`` asks for proofs alongside results (the paper's
+    ``*-verify`` configurations).
+    """
+
+    kind: RequestKind
+    payload: Dict[str, Any] = field(default_factory=dict)
+    verify: bool = False
+
+
+@dataclass(frozen=True)
+class Response:
+    """Result + optional proof + the ledger digest at answer time."""
+
+    ok: bool
+    result: Any = None
+    proof: Any = None
+    digest: Optional[LedgerDigest] = None
+    error: Optional[str] = None
+
+
+class RequestHandler:
+    """Dispatches requests against one node's database."""
+
+    def __init__(self, db: SpitzDatabase):
+        self._db = db
+        self.handled = 0
+
+    def handle(self, request: Request) -> Response:
+        """Execute one request; exceptions become error responses."""
+        self.handled += 1
+        try:
+            result, proof = self._dispatch(request)
+        except SpitzError as error:
+            return Response(ok=False, error=str(error))
+        digest = self._db.digest() if request.verify else None
+        return Response(ok=True, result=result, proof=proof, digest=digest)
+
+    def _dispatch(self, request: Request):
+        payload = request.payload
+        kind = request.kind
+        if kind is RequestKind.GET:
+            if request.verify:
+                value, proof = self._db.get_verified(payload["key"])
+                return value, proof
+            return self._db.get(payload["key"]), None
+        if kind is RequestKind.PUT:
+            if request.verify:
+                block, proof = self._db.put_with_proof(
+                    payload["key"], payload["value"]
+                )
+                return block.height, proof
+            block = self._db.put(payload["key"], payload["value"])
+            return block.height, None
+        if kind is RequestKind.DELETE:
+            block = self._db.delete(payload["key"])
+            return block.height, None
+        if kind is RequestKind.SCAN:
+            if request.verify:
+                entries, proof = self._db.scan_verified(
+                    payload["low"], payload["high"]
+                )
+                return entries, proof
+            return self._db.scan(payload["low"], payload["high"]), None
+        if kind is RequestKind.SQL:
+            return self._db.sql(payload["text"]), None
+        if kind is RequestKind.HISTORY:
+            return self._db.history(payload["key"]), None
+        if kind is RequestKind.DIGEST:
+            return self._db.digest(), None
+        raise QueryError(f"unsupported request kind {kind}")

@@ -1,0 +1,229 @@
+"""Client-side verification.
+
+"Clients can use the digest of the ledger to perform verification
+locally ... recalculate the digest with the received proof and compare
+it with the previous digest saved locally" (Section 5.3).  The
+verifier below is that client: it pins the most recent trusted ledger
+digest, checks proofs against it, and supports both online (check
+immediately) and deferred (batch) modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import TamperDetectedError, VerificationError
+from repro.core.ledger import LedgerDigest
+from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.txn.batch import DeferredVerifier
+
+Proof = Union[LedgerProof, LedgerRangeProof]
+
+
+class ClientVerifier:
+    """A client's local trust anchor.
+
+    ``deferred`` switches Section 5.3's deferred scheme on: proofs are
+    queued and checked in batches of ``batch_size``, trading detection
+    latency for throughput (measured in ``bench_ablation_deferred``).
+    """
+
+    def __init__(self, deferred: bool = False, batch_size: int = 32):
+        self._trusted: Optional[LedgerDigest] = None
+        self._queue = DeferredVerifier(batch_size) if deferred else None
+        # Content-addressed memoization across proofs: a node whose
+        # bytes hashed to its address once never needs re-hashing, and
+        # a block header whose chain link was recomputed once stays
+        # valid.  This is what makes verification of consecutive reads
+        # cheap (they share the ledger index's upper levels).
+        self._node_cache: dict = {}
+        self._block_cache: set = set()
+        self.checks = 0
+        self.detections = 0
+
+    @property
+    def trusted_digest(self) -> Optional[LedgerDigest]:
+        return self._trusted
+
+    def trust(self, digest: LedgerDigest) -> None:
+        """Adopt a digest as trusted (first contact / out-of-band)."""
+        self._trusted = digest
+
+    def observe(self, digest: LedgerDigest) -> None:
+        """Advance the trusted digest after a successful interaction.
+
+        Refuses to move backwards: a server presenting an older digest
+        than one already trusted is reporting a forked or truncated
+        ledger.  Forward moves are accepted on faith here; use
+        :meth:`advance` with an extension proof when the link between
+        the old and new digests must itself be verified.
+        """
+        if self._trusted is not None and digest.height < self._trusted.height:
+            self.detections += 1
+            raise TamperDetectedError(
+                f"ledger went backwards: trusted height "
+                f"{self._trusted.height}, offered {digest.height}"
+            )
+        self._trusted = digest
+
+    def advance(self, digest: LedgerDigest, extension) -> None:
+        """Verify that ``digest`` extends the trusted digest, then adopt.
+
+        ``extension`` is the server-supplied list of block witnesses
+        from the trusted height up to ``digest.height`` (see
+        :meth:`~repro.core.ledger.SpitzLedger.extension_proof`).  The
+        chain is replayed link by link from the trusted chain digest;
+        any reordering, substitution or truncation breaks a link.
+        This is the chain analogue of a Merkle consistency proof.
+        """
+        from repro.core.ledger import block_digest_of, chain_digest_of
+
+        if self._trusted is None:
+            raise VerificationError(
+                "no trusted digest: call trust() first"
+            )
+        if digest.height < self._trusted.height:
+            self.detections += 1
+            raise TamperDetectedError("ledger went backwards")
+        if len(extension) != digest.height - self._trusted.height:
+            self.detections += 1
+            raise TamperDetectedError(
+                f"extension has {len(extension)} blocks, expected "
+                f"{digest.height - self._trusted.height}"
+            )
+        running = self._trusted.chain_digest
+        for witness in extension:
+            if witness.previous_chain_digest != running:
+                self.detections += 1
+                raise TamperDetectedError(
+                    f"extension breaks at block #{witness.height}: "
+                    "does not chain from the trusted digest"
+                )
+            block_digest = block_digest_of(
+                height=witness.height,
+                previous=witness.previous_chain_digest,
+                tree_root=witness.tree_root,
+                writes_digest=witness.writes_digest,
+                statements_digest=witness.statements_digest,
+            )
+            running = chain_digest_of(running, block_digest)
+            if witness.chain_digest != running:
+                self.detections += 1
+                raise TamperDetectedError(
+                    f"extension block #{witness.height} has an "
+                    "inconsistent chain digest"
+                )
+        if running != digest.chain_digest:
+            self.detections += 1
+            raise TamperDetectedError(
+                "extension does not reach the offered digest"
+            )
+        if extension and extension[-1].tree_root != digest.tree_root:
+            self.detections += 1
+            raise TamperDetectedError(
+                "offered digest's index root does not match the last "
+                "extension block"
+            )
+        self._trusted = digest
+
+    # -- verification ---------------------------------------------------------
+
+    def verify(self, proof: Proof) -> bool:
+        """Check ``proof`` against the trusted digest.
+
+        In deferred mode the check is queued and True is returned
+        optimistically; :meth:`flush` (or queue auto-flush) performs
+        the work and raises :class:`TamperDetectedError` on failure.
+        """
+        if self._trusted is None:
+            raise VerificationError(
+                "no trusted digest: call trust()/observe() first"
+            )
+        trusted_chain = self._trusted.chain_digest
+        if self._queue is not None:
+            self._queue.submit(
+                label=self._label(proof),
+                check=lambda: proof.verify(
+                    trusted_chain, self._node_cache, self._block_cache
+                ),
+            )
+            return True
+        self.checks += 1
+        ok = proof.verify(
+            trusted_chain, self._node_cache, self._block_cache
+        )
+        if not ok:
+            self.detections += 1
+        return ok
+
+    def verify_or_raise(self, proof: Proof) -> None:
+        """Like :meth:`verify` but raises on failure (online mode)."""
+        if not self.verify(proof):
+            raise TamperDetectedError(
+                f"proof failed verification: {self._label(proof)}"
+            )
+
+    def flush(self) -> None:
+        """Run queued deferred checks (no-op in online mode)."""
+        if self._queue is not None:
+            self.checks += self._queue.pending
+            self._queue.flush()
+
+    @property
+    def pending(self) -> int:
+        return self._queue.pending if self._queue is not None else 0
+
+    @staticmethod
+    def _label(proof: Proof) -> str:
+        if isinstance(proof, LedgerProof):
+            return f"point:{proof.key!r}@block{proof.block.height}"
+        return (
+            f"range:{proof.range_proof.low!r}..{proof.range_proof.high!r}"
+            f"@block{proof.block.height}"
+        )
+
+
+class VerifiedWriter:
+    """The deferred write-verification client of Section 5.3.
+
+    "To improve verification throughput, we use a deferred scheme,
+    which means the transactions are verified asynchronously in
+    batch."  Writes go through immediately; every ``batch_size``
+    writes the writer seals the pending ledger block, fetches one
+    proof per written key against the *current* digest, and verifies
+    them all (sharing the index's upper levels through the verifier's
+    node cache).
+
+    Detection latency is bounded by the batch size — the trade-off
+    the paper accepts for throughput, measured in
+    ``bench_ablation_deferred``.
+    """
+
+    def __init__(self, db, verifier: "ClientVerifier", batch_size: int = 16):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._db = db
+        self._verifier = verifier
+        self._batch_size = batch_size
+        self._pending_keys = []
+        self.writes = 0
+        self.batches = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Write now; proof verification is deferred to the batch."""
+        self._db.put(key, value)
+        self._pending_keys.append(key)
+        self.writes += 1
+        if len(self._pending_keys) >= self._batch_size:
+            self.flush()
+
+    def flush(self) -> None:
+        """Verify every pending write against the current digest."""
+        if not self._pending_keys:
+            return
+        self._verifier.observe(self._db.digest())
+        for key in self._pending_keys:
+            _value, proof = self._db.get_verified(key)
+            self._verifier.verify_or_raise(proof)
+        self._pending_keys = []
+        self.batches += 1

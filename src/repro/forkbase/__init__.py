@@ -1,0 +1,34 @@
+"""ForkBase substrate: immutable, deduplicated, versioned storage.
+
+This package reimplements the parts of ForkBase (Wang et al.,
+PVLDB 2018) that Spitz depends on:
+
+- :mod:`~repro.forkbase.chunker` — content-defined chunking for
+  deduplication;
+- :mod:`~repro.forkbase.chunk_store` — a content-addressed object
+  store;
+- :mod:`~repro.forkbase.dag` — Merkle-DAG objects (blobs, lists,
+  maps);
+- :mod:`~repro.forkbase.versions` — git-like commits and branches;
+- :mod:`~repro.forkbase.store` — the user-facing facade.
+"""
+
+from repro.forkbase.chunk_store import ChunkStore, StoreStats
+from repro.forkbase.chunker import Chunker, FixedSizeChunker, RollingChunker
+from repro.forkbase.dag import Blob, MerkleList, MerkleMap
+from repro.forkbase.store import ForkBase
+from repro.forkbase.versions import Commit, VersionManager
+
+__all__ = [
+    "Blob",
+    "Chunker",
+    "ChunkStore",
+    "Commit",
+    "FixedSizeChunker",
+    "ForkBase",
+    "MerkleList",
+    "MerkleMap",
+    "RollingChunker",
+    "StoreStats",
+    "VersionManager",
+]

@@ -1,0 +1,151 @@
+"""Content-addressed chunk store.
+
+Every object in ForkBase — data chunks, Merkle-DAG nodes, SIRI index
+nodes, ledger blocks — is stored here under the SHA-256 of its content.
+Writing the same content twice stores one copy; that single property is
+what makes multi-version storage cheap (Figure 1 of the paper).
+
+The store also keeps the accounting the benchmarks need: logical bytes
+written (what a naive snapshot store would hold) versus physical bytes
+stored (after deduplication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.crypto.hashing import Digest, hash_bytes
+from repro.errors import ChunkNotFoundError
+
+
+@dataclass
+class StoreStats:
+    """Deduplication accounting for a :class:`ChunkStore`."""
+
+    puts: int = 0
+    unique_chunks: int = 0
+    logical_bytes: int = 0
+    physical_bytes: int = 0
+    gets: int = 0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """logical/physical bytes; 1.0 means no deduplication."""
+        if self.physical_bytes == 0:
+            return 1.0
+        return self.logical_bytes / self.physical_bytes
+
+
+@dataclass
+class _Entry:
+    data: bytes
+    refcount: int = 1
+
+
+class ChunkStore:
+    """In-memory content-addressed store with reference counts.
+
+    Reference counts exist so the version manager can *report* how much
+    space unreachable versions would free; nothing is ever deleted
+    behind an immutable database's back — release only moves bytes into
+    the reclaimable pool, and :meth:`compact` (an explicit, logged
+    operation) actually drops zero-reference chunks.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Digest, _Entry] = {}
+        self.stats = StoreStats()
+        # Side caches for index layers built on top of the store.
+        # Content addressing makes both sound: a digest's decoded form
+        # never changes.  ``decode_cache`` holds deserialized index
+        # nodes; ``boundary_cache`` holds content-defined-split
+        # decisions keyed by entry bytes.  Both trade memory for the
+        # hashing/pickling that would otherwise dominate hot paths.
+        self.decode_cache: Dict[Digest, object] = {}
+        self.boundary_cache: Dict[bytes, bool] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: Digest) -> bool:
+        return address in self._entries
+
+    def put(self, data: bytes) -> Digest:
+        """Store ``data``; return its content address.
+
+        Re-putting existing content bumps the refcount and costs no
+        physical bytes.
+        """
+        address = hash_bytes(data)
+        self.stats.puts += 1
+        self.stats.logical_bytes += len(data)
+        entry = self._entries.get(address)
+        if entry is not None:
+            entry.refcount += 1
+        else:
+            self._entries[address] = _Entry(data=data)
+            self.stats.unique_chunks += 1
+            self.stats.physical_bytes += len(data)
+        return address
+
+    def get(self, address: Digest) -> bytes:
+        """Fetch the chunk at ``address``.
+
+        Raises :class:`ChunkNotFoundError` if absent.
+        """
+        self.stats.gets += 1
+        entry = self._entries.get(address)
+        if entry is None:
+            raise ChunkNotFoundError(address.hex())
+        return entry.data
+
+    def get_optional(self, address: Digest) -> Optional[bytes]:
+        """Fetch the chunk at ``address`` or None if absent."""
+        self.stats.gets += 1
+        entry = self._entries.get(address)
+        return entry.data if entry is not None else None
+
+    def refcount(self, address: Digest) -> int:
+        """Current reference count (0 if the chunk is unknown)."""
+        entry = self._entries.get(address)
+        return entry.refcount if entry is not None else 0
+
+    def release(self, address: Digest) -> int:
+        """Drop one reference; return the remaining count.
+
+        The chunk's bytes stay resident until :meth:`compact`.
+        """
+        entry = self._entries.get(address)
+        if entry is None:
+            raise ChunkNotFoundError(address.hex())
+        if entry.refcount > 0:
+            entry.refcount -= 1
+        return entry.refcount
+
+    def reclaimable_bytes(self) -> int:
+        """Bytes held by zero-reference chunks."""
+        return sum(
+            len(entry.data)
+            for entry in self._entries.values()
+            if entry.refcount == 0
+        )
+
+    def compact(self) -> int:
+        """Physically drop zero-reference chunks; return bytes freed."""
+        dead = [
+            address
+            for address, entry in self._entries.items()
+            if entry.refcount == 0
+        ]
+        freed = 0
+        for address in dead:
+            freed += len(self._entries[address].data)
+            del self._entries[address]
+        self.stats.unique_chunks -= len(dead)
+        self.stats.physical_bytes -= freed
+        return freed
+
+    def addresses(self) -> Iterator[Digest]:
+        """Iterate over all stored content addresses."""
+        return iter(self._entries.keys())

@@ -1,0 +1,365 @@
+"""Merkle-DAG objects stored in the chunk store.
+
+ForkBase models data as a DAG of content-addressed nodes: equal
+subtrees share storage automatically.  Three object kinds cover what
+Spitz needs:
+
+- :class:`Blob` — a (possibly large) byte string, chunked for dedup;
+- :class:`MerkleList` — an immutable sequence of small values;
+- :class:`MerkleMap` — an immutable sorted map with path-copied
+  updates, so consecutive versions share unchanged subtrees.
+
+All three are *handles*: they hold a content address plus a reference
+to the store, and every mutation returns a new handle.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import Digest
+from repro.errors import StorageError
+from repro.forkbase.chunk_store import ChunkStore
+from repro.forkbase.chunker import Chunker, RollingChunker
+
+# Serialized node layout: canonical_encode of a tuple whose first
+# element is a kind tag.
+_KIND_BLOB_INDEX = "blob-index"
+_KIND_LIST = "mlist"
+_KIND_MAP_LEAF = "mmap-leaf"
+_KIND_MAP_BRANCH = "mmap-branch"
+
+#: Max entries in a MerkleMap leaf / children in a branch before split.
+_MAP_FANOUT = 32
+
+
+def _load(store: ChunkStore, address: Digest) -> tuple:
+    """Fetch and decode a DAG node."""
+    import pickle  # local import: decode path only
+
+    raw = store.get(address)
+    node = pickle.loads(raw)
+    if not isinstance(node, tuple) or not node:
+        raise StorageError(f"malformed DAG node at {address.hex()[:12]}")
+    return node
+
+
+def _save(store: ChunkStore, node: tuple) -> Digest:
+    """Encode and store a DAG node; return its address."""
+    import pickle
+
+    return store.put(pickle.dumps(node, protocol=4))
+
+
+class Blob:
+    """A chunked, deduplicated byte string."""
+
+    def __init__(self, store: ChunkStore, address: Digest):
+        self._store = store
+        self.address = address
+
+    @classmethod
+    def write(
+        cls,
+        store: ChunkStore,
+        data: bytes,
+        chunker: Optional[Chunker] = None,
+    ) -> "Blob":
+        """Chunk ``data``, store the chunks, and return a handle."""
+        chunker = chunker or RollingChunker()
+        addresses: List[Tuple[bytes, int]] = []
+        for chunk in chunker.chunks(data):
+            addresses.append((bytes(store.put(chunk)), len(chunk)))
+        index_address = _save(
+            store, (_KIND_BLOB_INDEX, len(data), tuple(addresses))
+        )
+        return cls(store, index_address)
+
+    def read(self) -> bytes:
+        """Reassemble the full byte string."""
+        kind, _total, addresses = _load(self._store, self.address)
+        if kind != _KIND_BLOB_INDEX:
+            raise StorageError(f"expected blob index, found {kind!r}")
+        return b"".join(
+            self._store.get(Digest(addr)) for addr, _length in addresses
+        )
+
+    def __len__(self) -> int:
+        _kind, total, _addresses = _load(self._store, self.address)
+        return total
+
+
+class MerkleList:
+    """An immutable list of canonical-encodable values."""
+
+    def __init__(self, store: ChunkStore, address: Digest):
+        self._store = store
+        self.address = address
+
+    @classmethod
+    def write(cls, store: ChunkStore, items: Sequence[object]) -> "MerkleList":
+        address = _save(store, (_KIND_LIST, tuple(items)))
+        return cls(store, address)
+
+    def items(self) -> Tuple[object, ...]:
+        kind, items = _load(self._store, self.address)
+        if kind != _KIND_LIST:
+            raise StorageError(f"expected mlist, found {kind!r}")
+        return items
+
+    def __len__(self) -> int:
+        return len(self.items())
+
+    def append(self, item: object) -> "MerkleList":
+        """Return a new list with ``item`` appended."""
+        return MerkleList.write(self._store, self.items() + (item,))
+
+
+class MerkleMap:
+    """An immutable sorted map with structural sharing.
+
+    Keys are strings; values are anything picklable.  Stored as a
+    B-tree of fanout :data:`_MAP_FANOUT`: leaves hold sorted
+    ``(key, value)`` pairs, branches hold separator keys and child
+    addresses.  Updates path-copy the spine, so two versions differing
+    in one key share all other subtrees — the storage behaviour
+    Figure 1 measures.
+    """
+
+    def __init__(self, store: ChunkStore, address: Digest):
+        self._store = store
+        self.address = address
+
+    # -- construction ------------------------------------------------
+
+    @classmethod
+    def empty(cls, store: ChunkStore) -> "MerkleMap":
+        address = _save(store, (_KIND_MAP_LEAF, ()))
+        return cls(store, address)
+
+    @classmethod
+    def from_items(
+        cls, store: ChunkStore, items: Sequence[Tuple[str, object]]
+    ) -> "MerkleMap":
+        """Bulk-build from (key, value) pairs (last write wins)."""
+        merged = dict(items)
+        pairs = sorted(merged.items())
+        return cls(store, _build_subtree(store, pairs))
+
+    # -- reads -------------------------------------------------------
+
+    def get(self, key: str) -> object:
+        """Value for ``key``; raises ``KeyError`` if absent."""
+        node = _load(self._store, self.address)
+        while node[0] == _KIND_MAP_BRANCH:
+            _kind, separators, children = node
+            child_index = bisect.bisect_right(separators, key)
+            node = _load(self._store, Digest(children[child_index]))
+        _kind, pairs = node
+        keys = [pair[0] for pair in pairs]
+        position = bisect.bisect_left(keys, key)
+        if position < len(pairs) and pairs[position][0] == key:
+            return pairs[position][1]
+        raise KeyError(key)
+
+    def get_optional(self, key: str, default: object = None) -> object:
+        try:
+            return self.get(key)
+        except KeyError:
+            return default
+
+    def __contains__(self, key: str) -> bool:
+        try:
+            self.get(key)
+            return True
+        except KeyError:
+            return False
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """Iterate all pairs in key order."""
+        yield from self._iter_node(self.address)
+
+    def _iter_node(self, address: Digest) -> Iterator[Tuple[str, object]]:
+        node = _load(self._store, address)
+        if node[0] == _KIND_MAP_BRANCH:
+            _kind, _separators, children = node
+            for child in children:
+                yield from self._iter_node(Digest(child))
+        else:
+            _kind, pairs = node
+            yield from pairs
+
+    def __len__(self) -> int:
+        return sum(1 for _pair in self.items())
+
+    # -- writes (persistent) ------------------------------------------
+
+    def set(self, key: str, value: object) -> "MerkleMap":
+        """Return a new map with ``key`` bound to ``value``."""
+        new_root = _set_in_node(self._store, self.address, key, value)
+        if isinstance(new_root, list):  # root split
+            separators = [entry[0] for entry in new_root[1:]]
+            children = tuple(bytes(entry[1]) for entry in new_root)
+            address = _save(
+                store=self._store,
+                node=(_KIND_MAP_BRANCH, tuple(separators), children),
+            )
+            return MerkleMap(self._store, address)
+        return MerkleMap(self._store, new_root)
+
+    def delete(self, key: str) -> "MerkleMap":
+        """Return a new map without ``key`` (no-op if absent).
+
+        Underfull nodes are not rebalanced: immutable workloads delete
+        rarely and structural invariance is owned by the SIRI indexes,
+        not this DAG helper.
+        """
+        new_root = _delete_in_node(self._store, self.address, key)
+        return MerkleMap(self._store, new_root)
+
+    def digest(self) -> Digest:
+        """Content digest of the whole map (its root address)."""
+        return self.address
+
+
+def _build_subtree(
+    store: ChunkStore, pairs: List[Tuple[str, object]]
+) -> Digest:
+    if len(pairs) <= _MAP_FANOUT:
+        return _save(store, (_KIND_MAP_LEAF, tuple(pairs)))
+    # Split into roughly equal groups of at most _MAP_FANOUT leaves,
+    # then recurse on the addresses.
+    leaves: List[Tuple[str, Digest]] = []
+    for start in range(0, len(pairs), _MAP_FANOUT):
+        group = pairs[start:start + _MAP_FANOUT]
+        leaves.append(
+            (group[0][0], _save(store, (_KIND_MAP_LEAF, tuple(group))))
+        )
+    return _build_branches(store, leaves)
+
+
+def _build_branches(
+    store: ChunkStore, children: List[Tuple[str, Digest]]
+) -> Digest:
+    while len(children) > 1:
+        next_level: List[Tuple[str, Digest]] = []
+        for start in range(0, len(children), _MAP_FANOUT):
+            group = children[start:start + _MAP_FANOUT]
+            separators = tuple(entry[0] for entry in group[1:])
+            addresses = tuple(bytes(entry[1]) for entry in group)
+            address = _save(
+                store, (_KIND_MAP_BRANCH, separators, addresses)
+            )
+            next_level.append((group[0][0], address))
+        children = next_level
+    return children[0][1]
+
+
+def _set_in_node(store: ChunkStore, address: Digest, key: str, value: object):
+    """Insert into the subtree at ``address``.
+
+    Returns either the new subtree address (Digest), or — when the node
+    split — a list of ``(first_key, address)`` pairs for the parent to
+    absorb.
+    """
+    node = _load(store, address)
+    if node[0] == _KIND_MAP_LEAF:
+        _kind, pairs = node
+        pairs = list(pairs)
+        keys = [pair[0] for pair in pairs]
+        position = bisect.bisect_left(keys, key)
+        if position < len(pairs) and pairs[position][0] == key:
+            pairs[position] = (key, value)
+        else:
+            pairs.insert(position, (key, value))
+        if len(pairs) <= _MAP_FANOUT:
+            return _save(store, (_KIND_MAP_LEAF, tuple(pairs)))
+        middle = len(pairs) // 2
+        left = pairs[:middle]
+        right = pairs[middle:]
+        return [
+            (left[0][0], _save(store, (_KIND_MAP_LEAF, tuple(left)))),
+            (right[0][0], _save(store, (_KIND_MAP_LEAF, tuple(right)))),
+        ]
+    _kind, separators, children = node
+    separators = list(separators)
+    children = [Digest(child) for child in children]
+    child_index = bisect.bisect_right(separators, key)
+    result = _set_in_node(store, children[child_index], key, value)
+    if isinstance(result, list):
+        # Child split into several pieces; splice them in.
+        new_children = (
+            children[:child_index]
+            + [piece[1] for piece in result]
+            + children[child_index + 1:]
+        )
+        new_separators = (
+            separators[:child_index]
+            + [piece[0] for piece in result[1:]]
+            + separators[child_index:]
+        )
+    else:
+        children[child_index] = result
+        new_children, new_separators = children, separators
+    if len(new_children) <= _MAP_FANOUT:
+        return _save(
+            store,
+            (
+                _KIND_MAP_BRANCH,
+                tuple(new_separators),
+                tuple(bytes(child) for child in new_children),
+            ),
+        )
+    # Split this branch in two.
+    middle = len(new_children) // 2
+    left_children = new_children[:middle]
+    right_children = new_children[middle:]
+    left_separators = new_separators[:middle - 1]
+    right_separators = new_separators[middle:]
+    left_first = _first_key(store, left_children[0])
+    right_first = new_separators[middle - 1]
+    left_address = _save(
+        store,
+        (
+            _KIND_MAP_BRANCH,
+            tuple(left_separators),
+            tuple(bytes(child) for child in left_children),
+        ),
+    )
+    right_address = _save(
+        store,
+        (
+            _KIND_MAP_BRANCH,
+            tuple(right_separators),
+            tuple(bytes(child) for child in right_children),
+        ),
+    )
+    return [(left_first, left_address), (right_first, right_address)]
+
+
+def _first_key(store: ChunkStore, address: Digest) -> str:
+    node = _load(store, address)
+    while node[0] == _KIND_MAP_BRANCH:
+        node = _load(store, Digest(node[2][0]))
+    pairs = node[1]
+    return pairs[0][0] if pairs else ""
+
+
+def _delete_in_node(store: ChunkStore, address: Digest, key: str) -> Digest:
+    node = _load(store, address)
+    if node[0] == _KIND_MAP_LEAF:
+        _kind, pairs = node
+        filtered = tuple(pair for pair in pairs if pair[0] != key)
+        if len(filtered) == len(pairs):
+            return address  # untouched subtree: share it
+        return _save(store, (_KIND_MAP_LEAF, filtered))
+    _kind, separators, children = node
+    child_index = bisect.bisect_right(list(separators), key)
+    old_child = Digest(children[child_index])
+    new_child = _delete_in_node(store, old_child, key)
+    if new_child == old_child:
+        return address
+    new_children = list(children)
+    new_children[child_index] = bytes(new_child)
+    return _save(store, (_KIND_MAP_BRANCH, separators, tuple(new_children)))

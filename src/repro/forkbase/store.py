@@ -1,0 +1,142 @@
+"""The ForkBase facade.
+
+Combines the chunk store, chunker, DAG objects and version manager into
+the interface the rest of the library consumes:
+
+- ``put_value`` / ``get_value`` — deduplicated storage of arbitrary
+  byte values, returning content addresses;
+- ``dataset`` operations — a named, versioned key→value map per branch
+  with O(1) historical checkout;
+- dedup statistics used by the Figure 1 benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.crypto.hashing import Digest
+from repro.forkbase.chunk_store import ChunkStore, StoreStats
+from repro.forkbase.chunker import Chunker, RollingChunker
+from repro.forkbase.dag import Blob, MerkleMap
+from repro.forkbase.versions import Commit, VersionManager
+
+
+class ForkBase:
+    """Immutable, deduplicated, versioned storage engine."""
+
+    def __init__(self, chunker: Optional[Chunker] = None):
+        self.chunks = ChunkStore()
+        self.chunker = chunker or RollingChunker()
+        self.versions = VersionManager()
+        # Working map per branch (the not-yet-committed head state).
+        self._working: Dict[str, MerkleMap] = {}
+
+    # -- raw value interface -------------------------------------------
+
+    def put_value(self, data: bytes) -> Digest:
+        """Store a value (chunked + deduplicated); return its address."""
+        return Blob.write(self.chunks, data, self.chunker).address
+
+    def get_value(self, address: Digest) -> bytes:
+        """Fetch a value previously stored with :meth:`put_value`."""
+        return Blob(self.chunks, address).read()
+
+    # -- versioned dataset interface -------------------------------------
+
+    def _working_map(self, branch: str) -> MerkleMap:
+        if branch not in self._working:
+            head = self.versions.head(branch) if branch in (
+                self.versions.branches()
+            ) else None
+            if head is not None:
+                self._working[branch] = MerkleMap(self.chunks, head.root)
+            else:
+                if branch not in self.versions.branches():
+                    self.versions.create_branch(branch)
+                self._working[branch] = MerkleMap.empty(self.chunks)
+        return self._working[branch]
+
+    def put(
+        self,
+        key: str,
+        value: bytes,
+        branch: str = VersionManager.DEFAULT_BRANCH,
+    ) -> Digest:
+        """Bind ``key`` to ``value`` in the branch's working state.
+
+        The value itself is chunk-deduplicated; the map update is
+        path-copied, so unchanged subtrees are shared with previous
+        states.  Returns the value's content address.
+        """
+        address = self.put_value(value)
+        working = self._working_map(branch)
+        self._working[branch] = working.set(key, bytes(address))
+        return address
+
+    def get(
+        self,
+        key: str,
+        branch: str = VersionManager.DEFAULT_BRANCH,
+    ) -> bytes:
+        """Value bound to ``key`` in the branch's working state."""
+        working = self._working_map(branch)
+        address = working.get(key)  # raises KeyError if absent
+        return self.get_value(Digest(address))
+
+    def get_at(self, key: str, commit: Commit) -> bytes:
+        """Value bound to ``key`` as of ``commit`` (historical read)."""
+        snapshot = MerkleMap(self.chunks, commit.root)
+        address = snapshot.get(key)
+        return self.get_value(Digest(address))
+
+    def delete(
+        self,
+        key: str,
+        branch: str = VersionManager.DEFAULT_BRANCH,
+    ) -> None:
+        """Remove ``key`` from the *working state* of ``branch``.
+
+        History is immutable: the key remains readable at every commit
+        that contained it.
+        """
+        working = self._working_map(branch)
+        self._working[branch] = working.delete(key)
+
+    def keys(
+        self, branch: str = VersionManager.DEFAULT_BRANCH
+    ) -> Iterator[str]:
+        """Keys in the branch's working state, sorted."""
+        for key, _value in self._working_map(branch).items():
+            yield key
+
+    def commit(
+        self,
+        message: str = "",
+        branch: str = VersionManager.DEFAULT_BRANCH,
+    ) -> Commit:
+        """Snapshot the branch's working state as a new commit."""
+        working = self._working_map(branch)
+        return self.versions.commit(
+            root=working.digest(), message=message, branch=branch
+        )
+
+    def checkout(self, commit: Commit) -> MerkleMap:
+        """Read-only map handle for a historical commit."""
+        return MerkleMap(self.chunks, commit.root)
+
+    # -- accounting ------------------------------------------------------
+
+    @property
+    def stats(self) -> StoreStats:
+        """Deduplication statistics of the underlying chunk store."""
+        return self.chunks.stats
+
+    def storage_report(self) -> Dict[str, float]:
+        """Summary used by the Figure 1 benchmark."""
+        stats = self.chunks.stats
+        return {
+            "logical_bytes": stats.logical_bytes,
+            "physical_bytes": stats.physical_bytes,
+            "dedup_ratio": stats.dedup_ratio,
+            "unique_chunks": stats.unique_chunks,
+        }

@@ -1,0 +1,175 @@
+"""Inverted index over cell values.
+
+Section 5 (*Inverted Index*): "the system uses an inverted index to
+quickly locate the rows ... the value recorded in each cell as index
+key and the universal key of the corresponding cell as value.  For
+numeric type, the system uses a skip list to better support range
+query, whereas for string type, it uses a radix tree to reduce space
+consumption."
+
+This module implements exactly that dispatch: one posting structure
+per column, chosen by value type.  A *posting* is the set of universal
+keys whose cells carry the indexed value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from repro.errors import QueryError
+from repro.indexes.radix import RadixTree
+from repro.indexes.skiplist import SkipList
+
+
+class _NumericPostings:
+    """Skip-list-backed postings for numeric values."""
+
+    def __init__(self) -> None:
+        self._list = SkipList()
+
+    def add(self, value: float, ukey: bytes) -> None:
+        posting: Optional[Set[bytes]] = self._list.get_optional(value)
+        if posting is None:
+            self._list.insert(value, {ukey})
+        else:
+            posting.add(ukey)
+
+    def remove(self, value: float, ukey: bytes) -> None:
+        posting: Optional[Set[bytes]] = self._list.get_optional(value)
+        if posting is None:
+            return
+        posting.discard(ukey)
+        if not posting:
+            self._list.delete(value)
+
+    def lookup(self, value: float) -> List[bytes]:
+        posting = self._list.get_optional(value)
+        return sorted(posting) if posting else []
+
+    def range(self, low: float, high: float) -> List[bytes]:
+        results: List[bytes] = []
+        for _value, posting in self._list.range(low, high):
+            results.extend(sorted(posting))
+        return results
+
+    def values(self) -> Iterator[float]:
+        for value, _posting in self._list.items():
+            yield value
+
+
+class _StringPostings:
+    """Radix-tree-backed postings for string values."""
+
+    def __init__(self) -> None:
+        self._tree = RadixTree()
+
+    def add(self, value: str, ukey: bytes) -> None:
+        encoded = value.encode("utf-8")
+        posting: Optional[Set[bytes]] = self._tree.get_optional(encoded)
+        if posting is None:
+            self._tree.insert(encoded, {ukey})
+        else:
+            posting.add(ukey)
+
+    def remove(self, value: str, ukey: bytes) -> None:
+        encoded = value.encode("utf-8")
+        posting: Optional[Set[bytes]] = self._tree.get_optional(encoded)
+        if posting is None:
+            return
+        posting.discard(ukey)
+        if not posting:
+            self._tree.delete(encoded)
+
+    def lookup(self, value: str) -> List[bytes]:
+        posting = self._tree.get_optional(value.encode("utf-8"))
+        return sorted(posting) if posting else []
+
+    def prefix(self, prefix: str) -> List[bytes]:
+        results: List[bytes] = []
+        for _key, posting in self._tree.prefix_items(prefix.encode("utf-8")):
+            results.extend(sorted(posting))
+        return results
+
+    def range(self, low: str, high: str) -> List[bytes]:
+        low_encoded = low.encode("utf-8")
+        high_encoded = high.encode("utf-8")
+        results: List[bytes] = []
+        for key, posting in self._tree.items():
+            if low_encoded <= key <= high_encoded:
+                results.extend(sorted(posting))
+        return results
+
+    def values(self) -> Iterator[str]:
+        for key, _posting in self._tree.items():
+            yield key.decode("utf-8")
+
+
+class InvertedIndex:
+    """Per-column value → universal-key postings.
+
+    The posting structure is chosen by the first value indexed for a
+    column: int/float → skip list, str → radix tree.  Mixing types in
+    one column raises :class:`~repro.errors.QueryError`, mirroring a
+    typed schema.
+    """
+
+    def __init__(self) -> None:
+        self._columns: Dict[str, object] = {}
+
+    def _postings_for(self, column: str, value: Any):
+        postings = self._columns.get(column)
+        if postings is None:
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, str)
+            ):
+                raise QueryError(
+                    f"cannot index value of type {type(value).__name__}"
+                )
+            postings = (
+                _StringPostings()
+                if isinstance(value, str)
+                else _NumericPostings()
+            )
+            self._columns[column] = postings
+            return postings
+        if isinstance(value, str) != isinstance(postings, _StringPostings):
+            raise QueryError(
+                f"column {column!r} mixes string and numeric values"
+            )
+        return postings
+
+    def add(self, column: str, value: Any, ukey: bytes) -> None:
+        """Index ``ukey`` under ``value`` in ``column``'s postings."""
+        self._postings_for(column, value).add(value, ukey)
+
+    def remove(self, column: str, value: Any, ukey: bytes) -> None:
+        """Drop one posting (no-op if absent)."""
+        postings = self._columns.get(column)
+        if postings is not None:
+            postings.remove(value, ukey)
+
+    def lookup(self, column: str, value: Any) -> List[bytes]:
+        """Universal keys whose ``column`` cell equals ``value``."""
+        postings = self._columns.get(column)
+        if postings is None:
+            return []
+        return postings.lookup(value)
+
+    def range(self, column: str, low: Any, high: Any) -> List[bytes]:
+        """Universal keys with ``low <= value <= high`` in ``column``."""
+        postings = self._columns.get(column)
+        if postings is None:
+            return []
+        return postings.range(low, high)
+
+    def prefix(self, column: str, prefix: str) -> List[bytes]:
+        """String-column prefix search."""
+        postings = self._columns.get(column)
+        if postings is None:
+            return []
+        if not isinstance(postings, _StringPostings):
+            raise QueryError(f"column {column!r} is not a string column")
+        return postings.prefix(prefix)
+
+    def columns(self) -> List[str]:
+        return sorted(self._columns)

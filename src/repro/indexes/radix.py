@@ -1,0 +1,171 @@
+"""Radix tree (compressed byte trie).
+
+Spitz's inverted index "uses a radix tree to reduce space consumption"
+for string cell values (Section 5, *Inverted Index*).  Edges are
+labeled with byte strings; common prefixes are stored once, which is
+the space saving the paper refers to.  Supports exact lookup, prefix
+scans and lexicographic iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.errors import KeyNotFoundError
+
+
+class _RadixNode:
+    __slots__ = ("edges", "value", "has_value")
+
+    def __init__(self) -> None:
+        # first byte -> (label, child)
+        self.edges: Dict[int, Tuple[bytes, "_RadixNode"]] = {}
+        self.value: Any = None
+        self.has_value = False
+
+
+def _common_prefix_length(a: bytes, b: bytes) -> int:
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class RadixTree:
+    """A mutable compressed trie mapping byte keys to values."""
+
+    def __init__(self) -> None:
+        self._root = _RadixNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: bytes) -> bool:
+        node = self._lookup_node(key)
+        return node is not None and node.has_value
+
+    def _lookup_node(self, key: bytes) -> Optional[_RadixNode]:
+        node = self._root
+        while key:
+            edge = node.edges.get(key[0])
+            if edge is None:
+                return None
+            label, child = edge
+            if not key.startswith(label):
+                return None
+            key = key[len(label):]
+            node = child
+        return node
+
+    def get(self, key: bytes) -> Any:
+        node = self._lookup_node(key)
+        if node is None or not node.has_value:
+            raise KeyNotFoundError(key)
+        return node.value
+
+    def get_optional(self, key: bytes, default: Any = None) -> Any:
+        node = self._lookup_node(key)
+        if node is None or not node.has_value:
+            return default
+        return node.value
+
+    def insert(self, key: bytes, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        node = self._root
+        rest = key
+        while True:
+            if not rest:
+                if not node.has_value:
+                    self._size += 1
+                node.value = value
+                node.has_value = True
+                return
+            edge = node.edges.get(rest[0])
+            if edge is None:
+                leaf = _RadixNode()
+                leaf.value = value
+                leaf.has_value = True
+                node.edges[rest[0]] = (rest, leaf)
+                self._size += 1
+                return
+            label, child = edge
+            shared = _common_prefix_length(label, rest)
+            if shared == len(label):
+                node = child
+                rest = rest[shared:]
+                continue
+            # Split the edge at the divergence point.
+            middle = _RadixNode()
+            middle.edges[label[shared]] = (label[shared:], child)
+            node.edges[rest[0]] = (label[:shared], middle)
+            node = middle
+            rest = rest[shared:]
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key``; raises :class:`KeyNotFoundError` if absent.
+
+        Collapses pass-through nodes so the structure stays compressed.
+        """
+        if not self._delete_from(self._root, key):
+            raise KeyNotFoundError(key)
+        self._size -= 1
+
+    def _delete_from(self, node: _RadixNode, rest: bytes) -> bool:
+        if not rest:
+            if not node.has_value:
+                return False
+            node.has_value = False
+            node.value = None
+            return True
+        edge = node.edges.get(rest[0])
+        if edge is None:
+            return False
+        label, child = edge
+        if not rest.startswith(label):
+            return False
+        if not self._delete_from(child, rest[len(label):]):
+            return False
+        # Clean up: drop empty children, merge pass-through chains.
+        if not child.has_value and not child.edges:
+            del node.edges[rest[0]]
+        elif not child.has_value and len(child.edges) == 1:
+            (inner_label, inner_child) = next(iter(child.edges.values()))
+            node.edges[rest[0]] = (label + inner_label, inner_child)
+        return True
+
+    def items(self) -> Iterator[Tuple[bytes, Any]]:
+        """All entries in lexicographic key order."""
+        yield from self._iter_node(self._root, b"")
+
+    def _iter_node(
+        self, node: _RadixNode, prefix: bytes
+    ) -> Iterator[Tuple[bytes, Any]]:
+        if node.has_value:
+            yield prefix, node.value
+        for first in sorted(node.edges):
+            label, child = node.edges[first]
+            yield from self._iter_node(child, prefix + label)
+
+    def prefix_items(self, prefix: bytes) -> Iterator[Tuple[bytes, Any]]:
+        """All entries whose key starts with ``prefix``."""
+        node = self._root
+        consumed = b""
+        rest = prefix
+        while rest:
+            edge = node.edges.get(rest[0])
+            if edge is None:
+                return
+            label, child = edge
+            shared = _common_prefix_length(label, rest)
+            if shared == len(rest):
+                # Prefix ends inside (or exactly at) this edge.
+                yield from self._iter_node(child, consumed + label)
+                return
+            if shared < len(label):
+                return
+            consumed += label
+            rest = rest[shared:]
+            node = child
+        yield from self._iter_node(node, consumed)

@@ -1,0 +1,103 @@
+"""The intrusive design (Figure 4).
+
+The ledger is embedded inside the database — which is exactly what
+Spitz is — so the adapter below is thin.  What Section 4 emphasizes is
+the *cost of getting there*: "it incurs significant cost in data
+migration.  In particular, data must be moved to the new system".
+:func:`migrate_kvs_to_spitz` implements that migration (preserving
+version history), and its cost is measured in
+``bench_ablation_designs``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.database import SpitzDatabase
+from repro.core.ledger import LedgerDigest
+from repro.core.proofs import LedgerProof
+from repro.kvstore.kvs import ImmutableKVS
+
+
+def migrate_kvs_to_spitz(
+    kvs: ImmutableKVS,
+    spitz: Optional[SpitzDatabase] = None,
+    batch_size: int = 64,
+    include_history: bool = True,
+) -> SpitzDatabase:
+    """Move an existing KVS into a fresh (or provided) Spitz instance.
+
+    Versions are replayed oldest-first in batches (one ledger block
+    each) so the migrated Spitz ledger reflects the original update
+    order; with ``include_history=False`` only the current state moves
+    (cheaper, but pre-migration provenance is lost — the trade-off
+    Section 4 asks deployers to weigh).
+    """
+    spitz = spitz if spitz is not None else SpitzDatabase()
+    if include_history:
+        versions: List[Tuple[int, bytes, bytes]] = []
+        for key, _encoded in kvs.primary.items():
+            for timestamp, value in kvs.history(key):
+                versions.append((timestamp, key, value))
+        versions.sort()
+        batch = {}
+        for _timestamp, key, value in versions:
+            if key in batch:
+                # Two versions of one key must land in different
+                # blocks or the earlier one would be lost.
+                spitz.put_batch(batch)
+                batch = {}
+            batch[key] = value
+            if len(batch) >= batch_size:
+                spitz.put_batch(batch)
+                batch = {}
+        if batch:
+            spitz.put_batch(batch)
+    else:
+        batch = {}
+        for key, encoded in kvs.primary.items():
+            cell = kvs.cells.get_by_encoded(encoded)
+            if cell is None:
+                continue
+            batch[key] = cell.value
+            if len(batch) >= batch_size:
+                spitz.put_batch(batch)
+                batch = {}
+        if batch:
+            spitz.put_batch(batch)
+    return spitz
+
+
+class IntrusiveVDB:
+    """Figure 4 as an object: Spitz with the ledger embedded.
+
+    Exists so the examples/benches can express "the intrusive design"
+    symmetrically with :class:`NonIntrusiveVDB`; calls delegate with
+    no channel in between, which is the design's whole advantage.
+    """
+
+    def __init__(self, spitz: Optional[SpitzDatabase] = None):
+        self.db = spitz if spitz is not None else SpitzDatabase()
+
+    def put(self, key: bytes, value: bytes) -> LedgerDigest:
+        self.db.put(key, value)
+        return self.db.digest()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.db.get(key)
+
+    def get_verified(
+        self, key: bytes
+    ) -> Tuple[Optional[bytes], LedgerProof, LedgerDigest]:
+        value, proof = self.db.get_verified(key)
+        return value, proof, self.db.digest()
+
+    def scan(self, low: bytes, high: bytes):
+        return self.db.scan(low, high)
+
+    def scan_verified(self, low: bytes, high: bytes):
+        entries, proof = self.db.scan_verified(low, high)
+        return entries, proof, self.db.digest()
+
+    def digest(self) -> LedgerDigest:
+        return self.db.digest()

@@ -1,0 +1,169 @@
+"""The non-intrusive design (Figure 3; measured in Figure 8).
+
+An unmodified underlying database (the immutable KVS) runs beside a
+*separate* ledger database (Spitz "solely waking up the auditor",
+Section 5.1).  The client talks to both over the simulated network:
+
+- **read**: fetch the value from the underlying DB (1 round trip),
+  fetch the proof from the ledger DB (1 round trip), verify locally;
+- **write**: stage on both systems and commit atomically — a
+  coordination round on top of the two data round trips.
+
+The extra hops and (de)serialization are exactly the overhead
+Section 6.2.3 attributes the 3–6× gap to.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import IntegrationError
+from repro.core.database import SpitzDatabase
+from repro.core.ledger import LedgerDigest
+from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.core.schema import KV_PREFIX
+from repro.integration.simnet import Channel
+from repro.kvstore.kvs import ImmutableKVS
+
+
+class _KvsServer:
+    """Server side of the underlying-database channel."""
+
+    def __init__(self) -> None:
+        self.kvs = ImmutableKVS()
+        self._staged: Dict[int, Tuple[bytes, bytes]] = {}
+        self._next_stage = 0
+
+    def handle(self, request: Tuple[str, tuple]) -> Any:
+        op, args = request
+        if op == "get":
+            return self.kvs.get(args[0])
+        if op == "scan":
+            return self.kvs.scan(args[0], args[1])
+        if op == "stage":
+            self._next_stage += 1
+            self._staged[self._next_stage] = (args[0], args[1])
+            return self._next_stage
+        if op == "commit":
+            key, value = self._staged.pop(args[0])
+            self.kvs.put(key, value)
+            return True
+        if op == "abort":
+            self._staged.pop(args[0], None)
+            return True
+        raise IntegrationError(f"kvs server: unknown op {op!r}")
+
+
+class _LedgerServer:
+    """Server side of the ledger-database channel (Spitz, auditor only)."""
+
+    def __init__(self, mask_bits: int = 3):
+        self.ledger_db = SpitzDatabase(
+            mask_bits=mask_bits, ledger_only=True
+        )
+
+    def handle(self, request: Tuple[str, tuple]) -> Any:
+        op, args = request
+        ledger = self.ledger_db.ledger
+        if op == "append":
+            key, value = args
+            ledger.append_block({KV_PREFIX + key: value})
+            return ledger.digest()
+        if op == "prove":
+            value, proof = ledger.get_with_proof(KV_PREFIX + args[0])
+            return value, proof, ledger.digest()
+        if op == "prove_range":
+            entries, proof = ledger.scan_with_proof(
+                KV_PREFIX + args[0], KV_PREFIX + args[1]
+            )
+            return entries, proof, ledger.digest()
+        if op == "digest":
+            return ledger.digest()
+        raise IntegrationError(f"ledger server: unknown op {op!r}")
+
+
+class NonIntrusiveVDB:
+    """Client-side facade over the two remote systems."""
+
+    def __init__(self, mask_bits: int = 3):
+        self._kvs_server = _KvsServer()
+        self._ledger_server = _LedgerServer(mask_bits=mask_bits)
+        self.kvs_channel = Channel(self._kvs_server.handle)
+        self.ledger_channel = Channel(self._ledger_server.handle)
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> LedgerDigest:
+        """Atomic write to both systems.
+
+        Stage on the underlying DB, append to the ledger, then commit
+        the stage — three round trips (abort the stage if the ledger
+        append fails, so the two systems never diverge).
+        """
+        stage_id = self.kvs_channel.call(("stage", (key, value)))
+        try:
+            digest = self.ledger_channel.call(("append", (key, value)))
+        except Exception:
+            self.kvs_channel.call(("abort", (stage_id,)))
+            raise
+        self.kvs_channel.call(("commit", (stage_id,)))
+        return digest
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Unverified read: underlying database only (1 round trip)."""
+        return self.kvs_channel.call(("get", (key,)))
+
+    def get_verified(
+        self, key: bytes
+    ) -> Tuple[Optional[bytes], LedgerProof, LedgerDigest]:
+        """Verified read: value from the DB, proof from the ledger.
+
+        Returns (value, proof, ledger digest); the caller verifies
+        with a :class:`~repro.core.verifier.ClientVerifier` and must
+        also check that the proven value equals the returned one —
+        that cross-check is what catches a tampered underlying DB.
+        """
+        value = self.kvs_channel.call(("get", (key,)))
+        proven_value, proof, digest = self.ledger_channel.call(
+            ("prove", (key,))
+        )
+        if proven_value != value:
+            raise IntegrationError(
+                "underlying database and ledger disagree on "
+                f"{key!r}: {value!r} vs {proven_value!r}"
+            )
+        return value, proof, digest
+
+    def scan(self, low: bytes, high: bytes) -> List[Tuple[bytes, bytes]]:
+        return self.kvs_channel.call(("scan", (low, high)))
+
+    def scan_verified(
+        self, low: bytes, high: bytes
+    ) -> Tuple[List[Tuple[bytes, bytes]], LedgerRangeProof, LedgerDigest]:
+        values = self.kvs_channel.call(("scan", (low, high)))
+        entries, proof, digest = self.ledger_channel.call(
+            ("prove_range", (low, high))
+        )
+        stripped = [
+            (key[len(KV_PREFIX):], value) for key, value in entries
+        ]
+        if stripped != values:
+            raise IntegrationError(
+                "underlying database and ledger disagree on range "
+                f"{low!r}..{high!r}"
+            )
+        return values, proof, digest
+
+    def digest(self) -> LedgerDigest:
+        return self.ledger_channel.call(("digest", ()))
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def round_trips(self) -> int:
+        return (
+            self.kvs_channel.stats.round_trips
+            + self.ledger_channel.stats.round_trips
+        )

@@ -1,0 +1,88 @@
+"""Simulated network channel.
+
+The paper's Figure 8 experiment runs the underlying database and the
+ledger database as two systems; the gap it measures comes from "the
+interactions between the Ledger database and the underlying database
+[which] inevitably introduce additional cost on network communication,
+query planning, etc." (Section 6.2.3).
+
+We have one process (DESIGN.md's substitution table), so the channel
+models the costs *deterministically*: every message is actually
+serialized, framed, check-summed and deserialized — real CPU work
+proportional to payload size, the dominant in-process analogue of a
+fast datacenter link.  No wall-clock sleeping is involved, so
+throughput ratios are stable across machines.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+
+
+@dataclass
+class NetworkStats:
+    """Per-channel accounting."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    round_trips: int = 0
+
+
+class Channel:
+    """A request/response channel to a remote service.
+
+    ``handler`` plays the server side: it receives the decoded request
+    object and returns a response object.  ``call`` performs one round
+    trip: serialize + frame + checksum the request, "transmit", decode
+    on the server, then the same on the way back.
+
+    ``loss_every`` injects a failure on every Nth message (0 = never),
+    for retry/timeout tests.
+    """
+
+    #: Per-message framing overhead, bytes (headers etc.).
+    FRAME_OVERHEAD = 64
+
+    def __init__(
+        self,
+        handler: Callable[[Any], Any],
+        loss_every: int = 0,
+    ):
+        self._handler = handler
+        self._loss_every = loss_every
+        self.stats = NetworkStats()
+
+    def _transmit(self, message: Any) -> Any:
+        """One direction: encode, frame, checksum, decode."""
+        payload = pickle.dumps(message, protocol=4)
+        checksum = zlib.crc32(payload)
+        frame = (
+            len(payload).to_bytes(4, "big")
+            + checksum.to_bytes(4, "big")
+            + payload
+        )
+        self.stats.messages += 1
+        self.stats.bytes_sent += len(frame) + self.FRAME_OVERHEAD
+        if (
+            self._loss_every
+            and self.stats.messages % self._loss_every == 0
+        ):
+            raise NetworkError("simulated message loss")
+        # Receiver side: verify the checksum, decode.
+        received = frame[8:]
+        if zlib.crc32(received) != checksum:
+            raise NetworkError("checksum mismatch")
+        return pickle.loads(received)
+
+    def call(self, request: Any) -> Any:
+        """One full round trip through the channel."""
+        decoded_request = self._transmit(request)
+        response = self._handler(decoded_request)
+        decoded_response = self._transmit(response)
+        self.stats.round_trips += 1
+        return decoded_response

@@ -1,0 +1,5 @@
+"""Immutable key-value store comparator (paper Section 6.1)."""
+
+from repro.kvstore.kvs import ImmutableKVS
+
+__all__ = ["ImmutableKVS"]

@@ -1,0 +1,79 @@
+"""The immutable KVS built on ForkBase.
+
+"For comparison purpose, we also build an immutable key-value store
+(KVS) using ForkBase.  It is the same as Spitz in terms of indexing,
+except that it does not maintain a ledger or provide verifiability.
+Therefore, by comparing the two systems, we can focus on the
+maintenance and verification cost of the ledger storage" (Section 6.1).
+
+Accordingly this class reuses Spitz's exact storage components — the
+deduplicating chunk store, the virtual cell store, the B+-tree access
+path — and omits only the ledger.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.forkbase.chunk_store import ChunkStore
+from repro.indexes.bplus import BPlusTree
+from repro.core.cell_store import CellStore
+from repro.txn.oracle import TimestampOracle
+
+_COLUMN = "default"
+
+
+class ImmutableKVS:
+    """Spitz's storage stack without the ledger."""
+
+    def __init__(self) -> None:
+        self.chunks = ChunkStore()
+        self.cells = CellStore(self.chunks)
+        self.primary = BPlusTree()
+        self.oracle = TimestampOracle()
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Append a new immutable version of ``key``."""
+        timestamp = self.oracle.next_timestamp()
+        ukey = self.cells.put(_COLUMN, key, timestamp, value)
+        self.primary.insert(key, ukey.encode())
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Latest version of ``key`` (None if absent)."""
+        encoded = self.primary.get_optional(key)
+        if encoded is None:
+            return None
+        cell = self.cells.get_by_encoded(encoded)
+        return cell.value if cell is not None else None
+
+    def delete(self, key: bytes) -> None:
+        """Remove ``key`` from the current state (history remains)."""
+        if key in self.primary:
+            self.primary.delete(key)
+
+    def scan(self, low: bytes, high: bytes) -> List[Tuple[bytes, bytes]]:
+        """Entries with ``low <= key <= high`` from current state."""
+        results: List[Tuple[bytes, bytes]] = []
+        for key, encoded in self.primary.range(low, high):
+            cell = self.cells.get_by_encoded(encoded)
+            if cell is not None:
+                results.append((key, cell.value))
+        return results
+
+    def history(self, key: bytes) -> List[Tuple[int, bytes]]:
+        """Every stored version of ``key``: (timestamp, value)."""
+        return [
+            (cell.ukey.timestamp, cell.value)
+            for cell in self.cells.versions(_COLUMN, key)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.primary)
+
+    def storage_report(self) -> Dict[str, float]:
+        stats = self.chunks.stats
+        return {
+            "logical_bytes": stats.logical_bytes,
+            "physical_bytes": stats.physical_bytes,
+            "dedup_ratio": stats.dedup_ratio,
+        }

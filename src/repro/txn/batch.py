@@ -1,0 +1,76 @@
+"""Deferred (batched) verification.
+
+"To improve verification throughput, we use a deferred scheme, which
+means the transactions are verified asynchronously in batch"
+(Section 5.3).  The queue below accumulates verification closures and
+flushes them when the batch fills (or on demand); the Figure-6
+``*-verify`` runs use batch size 1 (online), and the
+``bench_ablation_deferred`` sweep shows the throughput effect of
+larger batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.errors import TamperDetectedError
+
+#: A pending check: (label, zero-argument callable returning bool).
+Check = Tuple[str, Callable[[], bool]]
+
+
+class DeferredVerifier:
+    """Accumulates verification work and runs it in batches.
+
+    ``on_failure`` selects the policy when a check fails during a
+    flush: ``"raise"`` (default — surface
+    :class:`~repro.errors.TamperDetectedError` immediately) or
+    ``"collect"`` (record and keep going, for audit reports).
+    """
+
+    def __init__(
+        self, batch_size: int = 32, on_failure: str = "raise"
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if on_failure not in ("raise", "collect"):
+            raise ValueError("on_failure must be 'raise' or 'collect'")
+        self.batch_size = batch_size
+        self.on_failure = on_failure
+        self._pending: List[Check] = []
+        self.verified = 0
+        self.failures: List[str] = []
+        self.flushes = 0
+
+    def submit(self, label: str, check: Callable[[], bool]) -> None:
+        """Queue one verification; auto-flush when the batch fills."""
+        self._pending.append((label, check))
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def flush(self) -> List[str]:
+        """Run all queued checks; return labels that failed.
+
+        With ``on_failure="raise"`` the first failure raises
+        :class:`TamperDetectedError` (remaining checks stay queued so
+        an auditor can inspect them).
+        """
+        self.flushes += 1
+        failed: List[str] = []
+        while self._pending:
+            label, check = self._pending[0]
+            ok = check()
+            if not ok:
+                if self.on_failure == "raise":
+                    raise TamperDetectedError(
+                        f"deferred verification failed: {label}"
+                    )
+                failed.append(label)
+                self.failures.append(label)
+            self._pending.pop(0)
+            self.verified += 1
+        return failed

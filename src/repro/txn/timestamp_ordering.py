@@ -1,0 +1,64 @@
+"""MVCC + timestamp ordering (T/O).
+
+Section 5.2 lists "MVCC with timestamp ordering" (Bernstein &
+Goodman) among the suitable certifiers.  Transactions are ordered by
+their start timestamps; an operation arriving "too late" — e.g. a
+read of a key already overwritten by a younger transaction, or a
+write under a key already read by a younger transaction — aborts the
+transaction immediately rather than at commit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict
+
+from repro.errors import TransactionAborted
+from repro.txn.manager import Certifier, Transaction
+
+
+class TimestampOrderingCertifier(Certifier):
+    """Classic T/O scheduler state: per-key max read/write timestamps."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._max_read_ts: Dict[Any, int] = {}
+        self._max_write_ts: Dict[Any, int] = {}
+        self.early_aborts = 0
+
+    def on_read(self, txn: Transaction, key: Any) -> None:
+        with self._lock:
+            if txn.start_ts < self._max_write_ts.get(key, 0):
+                self.early_aborts += 1
+                raise TransactionAborted(
+                    txn.txn_id,
+                    f"T/O: read of {key!r} at {txn.start_ts} is older than "
+                    f"committed write {self._max_write_ts[key]}",
+                )
+            if txn.start_ts > self._max_read_ts.get(key, 0):
+                self._max_read_ts[key] = txn.start_ts
+
+    def on_write(self, txn: Transaction, key: Any) -> None:
+        with self._lock:
+            if txn.start_ts < self._max_read_ts.get(key, 0):
+                self.early_aborts += 1
+                raise TransactionAborted(
+                    txn.txn_id,
+                    f"T/O: write of {key!r} at {txn.start_ts} is older than "
+                    f"read {self._max_read_ts[key]}",
+                )
+            if txn.start_ts < self._max_write_ts.get(key, 0):
+                self.early_aborts += 1
+                raise TransactionAborted(
+                    txn.txn_id,
+                    f"T/O: write of {key!r} at {txn.start_ts} is older than "
+                    f"write {self._max_write_ts[key]}",
+                )
+
+    def certify(self, txn: Transaction, commit_ts: int) -> None:
+        # Record this transaction's writes as the newest, under the
+        # manager's commit lock (single-writer section).
+        with self._lock:
+            for key in txn.write_buffer:
+                if commit_ts > self._max_write_ts.get(key, 0):
+                    self._max_write_ts[key] = commit_ts

@@ -1,0 +1,173 @@
+"""Two-phase commit across processor nodes.
+
+"The solution is to add distributed transactions to each node, and
+follow the two-phase commit (2PC) protocol to coordinate each
+transaction so that transactions committed by different nodes can be
+made serializable" (Section 5.2).  Participants are in-process here
+(the distribution is simulated, per DESIGN.md), but the protocol —
+prepare votes, all-or-nothing outcome, participant failure handling —
+is complete and failure-injectable for tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Mapping
+
+from repro.errors import TransactionAborted, TwoPhaseCommitError
+from repro.txn.manager import (
+    IsolationLevel,
+    Transaction,
+    TransactionManager,
+)
+
+
+class Vote(enum.Enum):
+    YES = "yes"
+    NO = "no"
+
+
+class Participant:
+    """One 2PC participant wrapping a node-local transaction manager.
+
+    Failure injection: set :attr:`fail_next_prepare` /
+    :attr:`fail_next_commit` to make the next corresponding request
+    raise, emulating a crashed or partitioned node.
+    """
+
+    def __init__(self, name: str, manager: TransactionManager):
+        self.name = name
+        self.manager = manager
+        self._prepared: Dict[str, Transaction] = {}
+        self.fail_next_prepare = False
+        self.fail_next_commit = False
+
+    def prepare(
+        self, global_id: str, writes: Mapping[Any, Any]
+    ) -> Vote:
+        """Phase 1: stage ``writes`` locally and vote."""
+        if self.fail_next_prepare:
+            self.fail_next_prepare = False
+            raise TwoPhaseCommitError(
+                f"participant {self.name} failed during prepare"
+            )
+        txn = self.manager.begin(IsolationLevel.SERIALIZABLE)
+        try:
+            for key, value in writes.items():
+                # Read first so certification covers conflicting
+                # concurrent writers (write skew on this key).
+                txn.read(key)
+                txn.write(key, value)
+        except TransactionAborted:
+            txn.abort()
+            return Vote.NO
+        self._prepared[global_id] = txn
+        return Vote.YES
+
+    def commit(self, global_id: str) -> None:
+        """Phase 2: commit the staged branch."""
+        if self.fail_next_commit:
+            self.fail_next_commit = False
+            raise TwoPhaseCommitError(
+                f"participant {self.name} failed during commit"
+            )
+        txn = self._prepared.pop(global_id, None)
+        if txn is None:
+            raise TwoPhaseCommitError(
+                f"participant {self.name} has no prepared branch "
+                f"{global_id}"
+            )
+        txn.commit()
+
+    def abort(self, global_id: str) -> None:
+        """Phase 2 (abort path): discard the staged branch."""
+        txn = self._prepared.pop(global_id, None)
+        if txn is not None:
+            txn.abort()
+
+    def is_prepared(self, global_id: str) -> bool:
+        return global_id in self._prepared
+
+
+class TwoPhaseCoordinator:
+    """Drives prepare/commit across a set of participants.
+
+    The decision log (:attr:`log`) is the coordinator's durable state:
+    a recovering participant would consult it to resolve in-doubt
+    branches.
+    """
+
+    def __init__(self, participants: List[Participant]):
+        if not participants:
+            raise ValueError("at least one participant required")
+        self.participants = {p.name: p for p in participants}
+        self.log: List[tuple] = []
+        self._next_id = 0
+
+    def execute(
+        self, writes_by_participant: Mapping[str, Mapping[Any, Any]]
+    ) -> str:
+        """Run one global transaction; return its global id.
+
+        Raises :class:`TransactionAborted` when any participant votes
+        NO or fails during prepare (all branches are rolled back), and
+        :class:`TwoPhaseCommitError` when a participant fails *after*
+        the commit decision (the decision stands; the failed branch is
+        left for recovery, matching real 2PC semantics).
+        """
+        self._next_id += 1
+        global_id = f"gtx-{self._next_id}"
+        involved = []
+        for name in writes_by_participant:
+            if name not in self.participants:
+                raise TwoPhaseCommitError(f"unknown participant {name!r}")
+            involved.append(self.participants[name])
+
+        # Phase 1: prepare.
+        votes: Dict[str, Vote] = {}
+        try:
+            for participant in involved:
+                votes[participant.name] = participant.prepare(
+                    global_id, writes_by_participant[participant.name]
+                )
+        except TwoPhaseCommitError:
+            votes[participant.name] = Vote.NO  # crashed == NO
+
+        if any(vote is Vote.NO for vote in votes.values()):
+            self.log.append((global_id, "abort"))
+            for participant in involved:
+                participant.abort(global_id)
+            raise TransactionAborted(
+                self._next_id,
+                f"2PC abort: votes {sorted(votes.items())}",
+            )
+
+        # Phase 2: commit (decision is logged first — presumed commit).
+        self.log.append((global_id, "commit"))
+        failures: List[str] = []
+        for participant in involved:
+            try:
+                participant.commit(global_id)
+            except TwoPhaseCommitError:
+                failures.append(participant.name)
+        if failures:
+            raise TwoPhaseCommitError(
+                f"committed globally but participants {failures} must "
+                f"recover branch {global_id}"
+            )
+        return global_id
+
+    def recover(self, participant: Participant) -> int:
+        """Replay logged decisions for a participant's in-doubt branches.
+
+        Returns the number of branches resolved.
+        """
+        resolved = 0
+        for global_id, decision in self.log:
+            if participant.is_prepared(global_id):
+                if decision == "commit":
+                    participant.commit(global_id)
+                else:
+                    participant.abort(global_id)
+                resolved += 1
+        return resolved

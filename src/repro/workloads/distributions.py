@@ -1,0 +1,52 @@
+"""Key-choice distributions.
+
+Uniform matches the paper's Section 6.2 setup; zipfian is provided for
+the contention ablations (skewed access is what stresses the
+concurrency-control certifiers).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+
+class UniformChooser:
+    """Choose indices uniformly from ``[0, n)``."""
+
+    def __init__(self, n: int, seed: int = 0):
+        if n < 1:
+            raise ValueError("population must be positive")
+        self._n = n
+        self._rng = random.Random(seed)
+
+    def next(self) -> int:
+        return self._rng.randrange(self._n)
+
+
+class ZipfChooser:
+    """Choose indices with a zipfian distribution over ``[0, n)``.
+
+    ``theta`` is the skew (0 = uniform-ish, 0.99 = YCSB's default hot
+    skew).  Uses an inverse-CDF table, O(log n) per draw, exact for
+    the finite population.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        if n < 1:
+            raise ValueError("population must be positive")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank + 1) ** theta for rank in range(n)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def next(self) -> int:
+        return bisect.bisect_left(self._cdf, self._rng.random())

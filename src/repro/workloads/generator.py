@@ -1,0 +1,139 @@
+"""The Section 6.2 key-value workload.
+
+"The number of records ... vary from 10,000 to 1,280,000.  The length
+of the key ranges from 5 to 12 bytes while the size of the value is 20
+bytes."  Range queries (Section 6.2.2) select on the primary key with
+fixed 0.1 % selectivity.
+
+Everything is seeded and deterministic so paper-style sweeps are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import string
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.workloads.distributions import UniformChooser, ZipfChooser
+
+KEY_MIN_LEN = 5
+KEY_MAX_LEN = 12
+VALUE_LEN = 20
+
+_ALPHABET = (string.ascii_lowercase + string.digits).encode("ascii")
+
+
+class OpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One workload operation."""
+
+    kind: OpKind
+    key: bytes
+    value: Optional[bytes] = None
+    high: Optional[bytes] = None  # scan upper bound
+
+
+class WorkloadGenerator:
+    """Deterministic record and operation streams."""
+
+    def __init__(self, n_records: int, seed: int = 0, zipf: bool = False):
+        if n_records < 1:
+            raise ValueError("need at least one record")
+        self.n_records = n_records
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self.keys = self._make_keys()
+        self._chooser = (
+            ZipfChooser(n_records, seed=seed)
+            if zipf
+            else UniformChooser(n_records, seed=seed)
+        )
+        # Sorted copy for selectivity-based range bounds.
+        self.sorted_keys = sorted(self.keys)
+
+    def _make_keys(self) -> List[bytes]:
+        """Distinct random keys, 5-12 bytes each."""
+        keys: List[bytes] = []
+        seen = set()
+        while len(keys) < self.n_records:
+            length = self._rng.randint(KEY_MIN_LEN, KEY_MAX_LEN)
+            key = bytes(
+                self._rng.choice(_ALPHABET) for _ in range(length)
+            )
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+        return keys
+
+    def value(self) -> bytes:
+        """A fresh 20-byte value."""
+        return bytes(
+            self._rng.choice(_ALPHABET) for _ in range(VALUE_LEN)
+        )
+
+    def records(self) -> Iterator[Tuple[bytes, bytes]]:
+        """The initial (key, value) load, in generation order."""
+        for key in self.keys:
+            yield key, self.value()
+
+    # -- operation streams ---------------------------------------------------
+
+    def reads(self, count: int) -> Iterator[Operation]:
+        """Read-only stream over existing keys."""
+        for _ in range(count):
+            yield Operation(
+                kind=OpKind.READ, key=self.keys[self._chooser.next()]
+            )
+
+    def writes(self, count: int) -> Iterator[Operation]:
+        """Write-only stream (updates of existing keys)."""
+        for _ in range(count):
+            yield Operation(
+                kind=OpKind.WRITE,
+                key=self.keys[self._chooser.next()],
+                value=self.value(),
+            )
+
+    def mixed(self, count: int, read_fraction: float) -> Iterator[Operation]:
+        """Mixed stream with the given read fraction."""
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be within [0, 1]")
+        for _ in range(count):
+            key = self.keys[self._chooser.next()]
+            if self._rng.random() < read_fraction:
+                yield Operation(kind=OpKind.READ, key=key)
+            else:
+                yield Operation(
+                    kind=OpKind.WRITE, key=key, value=self.value()
+                )
+
+    def range_scans(
+        self, count: int, selectivity: float = 0.001
+    ) -> Iterator[Operation]:
+        """Primary-key range scans with fixed selectivity.
+
+        Each scan covers ``selectivity * n`` consecutive keys of the
+        sorted key space (Section 6.2.2 fixes selectivity at 0.1 %).
+        """
+        span = max(1, int(self.n_records * selectivity))
+        for _ in range(count):
+            start = self._rng.randrange(self.n_records - span + 1)
+            yield Operation(
+                kind=OpKind.SCAN,
+                key=self.sorted_keys[start],
+                high=self.sorted_keys[start + span - 1],
+            )
+
+    @property
+    def scan_span(self) -> int:
+        """How many records a 0.1 % scan returns at this size."""
+        return max(1, int(self.n_records * 0.001))

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.database import SpitzDatabase
+from repro.forkbase.chunk_store import ChunkStore
+
+
+@pytest.fixture
+def store():
+    """A fresh content-addressed chunk store."""
+    return ChunkStore()
+
+
+@pytest.fixture
+def db():
+    """A fresh single-node Spitz database."""
+    return SpitzDatabase()
+
+
+@pytest.fixture
+def loaded_db():
+    """A Spitz database preloaded with 200 sequential KV records."""
+    database = SpitzDatabase()
+    for i in range(200):
+        database.put(f"key{i:04d}".encode(), f"value{i}".encode())
+    return database

@@ -1,0 +1,92 @@
+"""Small-scale shape assertions for the paper's figures.
+
+These run the actual figure harness at tiny sizes and assert the
+*relative* claims the paper makes — who wins, in which direction
+verification hurts — without pinning absolute numbers.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    fig1_storage,
+    fig6_read,
+    fig6_write,
+    fig7_range,
+    fig8_nonintrusive,
+)
+
+SIZES = [200, 800]
+
+
+@pytest.fixture(scope="module")
+def figures():
+    read = fig6_read(SIZES)
+    write = fig6_write(SIZES)
+    ranged = fig7_range(SIZES, selectivity=0.01)
+    fig8_read, fig8_write = fig8_nonintrusive([400])
+    return read, write, ranged, fig8_read, fig8_write
+
+
+class TestFigure1Shape:
+    def test_dedup_reduces_storage_growth(self):
+        result = fig1_storage(versions_list=(10, 30))
+        naive = result.series_named("Storage").points
+        fork = result.series_named("Storage-ForkBase").points
+        # ForkBase stores less at every point...
+        assert fork[10] < naive[10]
+        assert fork[30] < naive[30]
+        # ...and grows slower.
+        assert (fork[30] - fork[10]) < (naive[30] - naive[10]) * 0.8
+
+
+class TestFigure6Shapes:
+    def test_verification_costs_throughput_on_reads(self, figures):
+        read, _w, _r, _f8r, _f8w = figures
+        for n in SIZES:
+            assert read.ratio("Spitz", "Spitz-verify", n) > 1.5
+            assert read.ratio("Baseline", "Baseline-verify", n) > 2.0
+
+    def test_spitz_verify_beats_baseline_verify(self, figures):
+        read, _w, _r, _f8r, _f8w = figures
+        # The paper's headline: the unified index wins, and the gap
+        # widens with the record count.
+        small, large = SIZES
+        assert read.ratio("Spitz-verify", "Baseline-verify", large) > 1.2
+
+    def test_baseline_verify_degrades_with_size(self, figures):
+        read, _w, _r, _f8r, _f8w = figures
+        small, large = SIZES
+        points = read.series_named("Baseline-verify").points
+        assert points[large] < points[small]
+
+    def test_kvs_writes_fastest(self, figures):
+        _r, write, _rng, _f8r, _f8w = figures
+        for n in SIZES:
+            assert write.ratio("Immutable KVS", "Spitz", n) > 1.0
+            assert write.ratio("Immutable KVS", "Baseline", n) > 1.0
+
+
+class TestFigure7Shapes:
+    def test_range_queries_slower_than_point(self, figures):
+        read, _w, ranged, _f8r, _f8w = figures
+        for system in ("Spitz", "Immutable KVS"):
+            for n in SIZES:
+                point = read.series_named(system).points[n]
+                scan = ranged.series_named(system).points[n]
+                assert scan < point
+
+    def test_spitz_verified_ranges_beat_baseline(self, figures):
+        _r, _w, ranged, _f8r, _f8w = figures
+        large = SIZES[-1]
+        assert ranged.ratio("Spitz-verify", "Baseline-verify", large) > 2.0
+
+
+class TestFigure8Shapes:
+    def test_nonintrusive_pays_for_separation(self, figures):
+        _r, _w, _rng, fig8_read, fig8_write = figures
+        n = 400
+        assert fig8_read.ratio("Spitz", "Non-intrusive", n) > 1.2
+        assert fig8_read.ratio(
+            "Spitz-verify", "Non-intrusive-verify", n
+        ) > 1.5
+        assert fig8_write.ratio("Spitz", "Non-intrusive", n) > 1.5

@@ -1,0 +1,93 @@
+"""Cross-system equivalence: all four systems agree on query results.
+
+The benchmark comparisons are only meaningful if the systems compute
+the same answers; this suite loads the same workload everywhere and
+checks result equality (and proof validity where supported).
+"""
+
+import pytest
+
+from repro.baseline.ledger_db import BaselineLedgerDB
+from repro.core.database import SpitzDatabase
+from repro.core.verifier import ClientVerifier
+from repro.integration.nonintrusive import NonIntrusiveVDB
+from repro.kvstore.kvs import ImmutableKVS
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def systems():
+    gen = WorkloadGenerator(300, seed=11)
+    records = list(gen.records())
+    kvs = ImmutableKVS()
+    spitz = SpitzDatabase()
+    baseline = BaselineLedgerDB()
+    noni = NonIntrusiveVDB()
+    for key, value in records:
+        kvs.put(key, value)
+        spitz.put(key, value)
+        baseline.put(key, value)
+        noni.put(key, value)
+    return gen, dict(records), kvs, spitz, baseline, noni
+
+
+class TestResultEquivalence:
+    def test_point_reads_agree(self, systems):
+        gen, records, kvs, spitz, baseline, noni = systems
+        for op in gen.reads(50):
+            expected = records[op.key]
+            assert kvs.get(op.key) == expected
+            assert spitz.get(op.key) == expected
+            assert baseline.get(op.key) == expected
+            assert noni.get(op.key) == expected
+
+    def test_missing_keys_agree(self, systems):
+        _gen, _records, kvs, spitz, baseline, noni = systems
+        assert kvs.get(b"zz-missing") is None
+        assert spitz.get(b"zz-missing") is None
+        assert baseline.get(b"zz-missing") is None
+        assert noni.get(b"zz-missing") is None
+
+    def test_range_scans_agree(self, systems):
+        gen, _records, kvs, spitz, baseline, noni = systems
+        for op in gen.range_scans(10, selectivity=0.05):
+            expected = kvs.scan(op.key, op.high)
+            assert spitz.scan(op.key, op.high) == expected
+            assert baseline.scan(op.key, op.high) == expected
+            assert noni.scan(op.key, op.high) == expected
+            assert len(expected) >= 1
+
+    def test_verified_reads_agree_and_verify(self, systems):
+        gen, records, _kvs, spitz, baseline, noni = systems
+        spitz_client = ClientVerifier()
+        spitz_client.trust(spitz.digest())
+        noni_client = ClientVerifier()
+        noni_client.trust(noni.digest())
+        baseline_root = baseline.digest()
+        for op in gen.reads(20):
+            expected = records[op.key]
+
+            value, proof = spitz.get_verified(op.key)
+            assert value == expected
+            spitz_client.verify_or_raise(proof)
+
+            value, bproof = baseline.get_verified(op.key)
+            assert value == expected
+            assert bproof.verify(baseline_root)
+
+            value, nproof, digest = noni.get_verified(op.key)
+            assert value == expected
+            noni_client.observe(digest)
+            noni_client.verify_or_raise(nproof)
+
+    def test_histories_agree(self, systems):
+        _gen, records, kvs, spitz, baseline, _noni = systems
+        key = next(iter(records))
+        kvs.put(key, b"updated-value-0001")
+        spitz.put(key, b"updated-value-0001")
+        baseline.put(key, b"updated-value-0001")
+        kvs_history = [v for _, v in kvs.history(key)]
+        spitz_history = [v for _, v in spitz.history(key)]
+        baseline_history = [v for _, v in baseline.history(key)]
+        assert kvs_history == spitz_history == baseline_history
+        assert kvs_history[-1] == b"updated-value-0001"

@@ -1,0 +1,98 @@
+"""Property-based model tests: ordered indexes vs a dict model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.indexes.bplus import BPlusTree
+from repro.indexes.radix import RadixTree
+from repro.indexes.skiplist import SkipList
+
+#: Operation scripts over a small key universe (to exercise overwrite
+#: and delete paths heavily).
+int_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(0, 40),
+    ),
+    max_size=120,
+)
+
+bytes_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.binary(min_size=0, max_size=5),
+    ),
+    max_size=120,
+)
+
+
+def _run_script(index, ops, model):
+    for action, key in ops:
+        if action == "insert":
+            index.insert(key, str(key))
+            model[key] = str(key)
+        else:
+            if key in model:
+                index.delete(key)
+                del model[key]
+            else:
+                try:
+                    index.delete(key)
+                    raise AssertionError("delete of absent key succeeded")
+                except KeyNotFoundError:
+                    pass
+
+
+@given(ops=int_ops, order=st.sampled_from([4, 5, 8, 64]))
+@settings(max_examples=120, deadline=None)
+def test_bplus_matches_dict(ops, order):
+    tree = BPlusTree(order=order)
+    model = {}
+    _run_script(tree, ops, model)
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)
+    for key in model:
+        assert tree.get(key) == model[key]
+
+
+@given(ops=int_ops, low=st.integers(0, 40), span=st.integers(0, 20))
+@settings(max_examples=100, deadline=None)
+def test_bplus_range_matches_dict(ops, low, span):
+    tree = BPlusTree(order=4)
+    model = {}
+    _run_script(tree, ops, model)
+    high = low + span
+    expected = [(k, v) for k, v in sorted(model.items()) if low <= k <= high]
+    assert list(tree.range(low, high)) == expected
+
+
+@given(ops=int_ops)
+@settings(max_examples=100, deadline=None)
+def test_skiplist_matches_dict(ops):
+    skiplist = SkipList(seed=1)
+    model = {}
+    _run_script(skiplist, ops, model)
+    assert list(skiplist.items()) == sorted(model.items())
+    assert len(skiplist) == len(model)
+
+
+@given(ops=bytes_ops)
+@settings(max_examples=120, deadline=None)
+def test_radix_matches_dict(ops):
+    tree = RadixTree()
+    model = {}
+    _run_script(tree, ops, model)
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)
+
+
+@given(ops=bytes_ops, prefix=st.binary(max_size=3))
+@settings(max_examples=100, deadline=None)
+def test_radix_prefix_matches_dict(ops, prefix):
+    tree = RadixTree()
+    model = {}
+    _run_script(tree, ops, model)
+    expected = [
+        (k, v) for k, v in sorted(model.items()) if k.startswith(prefix)
+    ]
+    assert list(tree.prefix_items(prefix)) == expected

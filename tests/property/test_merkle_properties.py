@@ -1,0 +1,74 @@
+"""Property-based tests for Merkle trees and the chunker."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.merkle import MerkleTree
+from repro.forkbase.chunker import RollingChunker
+
+
+@given(leaves=st.lists(st.binary(max_size=32), min_size=1, max_size=80))
+@settings(max_examples=100, deadline=None)
+def test_every_leaf_has_valid_proof(leaves):
+    tree = MerkleTree(leaves)
+    for index, leaf in enumerate(leaves):
+        assert tree.prove(index).verify(leaf, tree.root)
+
+
+@given(
+    leaves=st.lists(st.binary(max_size=16), min_size=2, max_size=60),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_single_bit_tamper_always_detected(leaves, data):
+    tree = MerkleTree(leaves)
+    index = data.draw(st.integers(0, len(leaves) - 1))
+    leaf = leaves[index]
+    if not leaf:
+        tampered = b"\x01"
+    else:
+        byte = data.draw(st.integers(0, len(leaf) - 1))
+        bit = data.draw(st.integers(0, 7))
+        tampered = (
+            leaf[:byte]
+            + bytes([leaf[byte] ^ (1 << bit)])
+            + leaf[byte + 1:]
+        )
+    assert not tree.prove(index).verify(tampered, tree.root)
+
+
+@given(leaves=st.lists(st.binary(max_size=16), min_size=1, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_incremental_equals_bulk(leaves):
+    incremental = MerkleTree()
+    for leaf in leaves:
+        incremental.append(leaf)
+    assert incremental.root == MerkleTree(leaves).root
+
+
+@given(data=st.binary(max_size=30_000))
+@settings(max_examples=60, deadline=None)
+def test_chunker_reassembles_and_is_deterministic(data):
+    chunker = RollingChunker(mask_bits=6, min_size=64, max_size=2048)
+    chunks = chunker.split(data)
+    assert b"".join(chunks) == data
+    assert chunks == chunker.split(data)
+    if data:
+        assert all(chunks)  # no empty chunks
+
+
+@given(
+    prefix=st.binary(min_size=2_000, max_size=6_000),
+    insertion=st.binary(min_size=1, max_size=64),
+    suffix=st.binary(min_size=2_000, max_size=6_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_chunker_locality(prefix, insertion, suffix):
+    """An insertion can only affect chunks near the edit point: the
+    chunk sets before and after share a significant portion whenever
+    the data is large enough to span several chunks."""
+    chunker = RollingChunker(mask_bits=5, min_size=64, max_size=1024)
+    original = chunker.split(prefix + suffix)
+    edited = chunker.split(prefix + insertion + suffix)
+    if len(original) >= 8:
+        shared = len(set(original) & set(edited))
+        assert shared >= len(original) * 0.25

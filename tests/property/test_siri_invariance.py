@@ -1,0 +1,110 @@
+"""Property-based tests: SIRI structural invariance (hypothesis).
+
+The defining property of the family (paper Section 3.1, ref [59]):
+for any key/value set and any partition of it into ordered update
+batches (including deletes of absent keys), the final root digest
+depends only on the final logical content.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.forkbase.chunk_store import ChunkStore
+from repro.indexes.mbt import MerkleBucketTree
+from repro.indexes.mpt import MerklePatriciaTrie
+from repro.indexes.pos_tree import PosTree
+from repro.indexes.siri import DELETE
+
+keys = st.binary(min_size=1, max_size=12)
+values = st.binary(min_size=0, max_size=16)
+
+#: A script of (key, value-or-delete) operations.
+scripts = st.lists(
+    st.tuples(keys, st.one_of(values, st.just(DELETE))),
+    min_size=0,
+    max_size=60,
+)
+
+
+def _final_state(script):
+    state = {}
+    for key, value in script:
+        if value is DELETE:
+            state.pop(key, None)
+        else:
+            state[key] = value
+    return state
+
+
+def _apply_script(index, script, batch_size):
+    batch = {}
+    for key, value in script:
+        batch[key] = value
+        if len(batch) >= batch_size:
+            index = index.apply(batch)
+            batch = {}
+    if batch:
+        index = index.apply(batch)
+    return index
+
+
+def _check_invariance(make_index, script, batch_size):
+    store = ChunkStore()
+    scripted = _apply_script(make_index(store), script, batch_size)
+    state = _final_state(script)
+    fresh = make_index(store).apply(state) if state else make_index(store)
+    assert scripted.root == fresh.root
+    assert dict(scripted.items()) == state
+
+
+@given(script=scripts, batch_size=st.integers(1, 7))
+@settings(max_examples=120, deadline=None)
+def test_pos_tree_invariance(script, batch_size):
+    _check_invariance(
+        lambda store: PosTree.empty(store, mask_bits=2), script, batch_size
+    )
+
+
+@given(script=scripts, batch_size=st.integers(1, 7))
+@settings(max_examples=120, deadline=None)
+def test_mpt_invariance(script, batch_size):
+    _check_invariance(
+        MerklePatriciaTrie.empty, script, batch_size
+    )
+
+
+@given(script=scripts, batch_size=st.integers(1, 7))
+@settings(max_examples=100, deadline=None)
+def test_mbt_invariance(script, batch_size):
+    _check_invariance(
+        lambda store: MerkleBucketTree.empty(store, buckets=8),
+        script,
+        batch_size,
+    )
+
+
+@given(script=scripts)
+@settings(max_examples=60, deadline=None)
+def test_pos_tree_proofs_always_verify(script):
+    store = ChunkStore()
+    tree = _apply_script(PosTree.empty(store, mask_bits=2), script, 5)
+    state = _final_state(script)
+    for key in list(state)[:10]:
+        value, proof = tree.get_with_proof(key)
+        assert value == state[key]
+        assert PosTree.verify_proof(proof, tree.root)
+    value, proof = tree.get_with_proof(b"\xffnot-a-key")
+    assert value is None
+    assert PosTree.verify_proof(proof, tree.root)
+
+
+@given(script=scripts)
+@settings(max_examples=60, deadline=None)
+def test_pos_tree_load_round_trip(script):
+    store = ChunkStore()
+    tree = _apply_script(PosTree.empty(store, mask_bits=2), script, 4)
+    loaded = PosTree.load(store, tree.root, mask_bits=2)
+    assert loaded.root == tree.root
+    assert list(loaded.items()) == list(tree.items())
+    # A post-load update must behave identically to the original.
+    update = {b"new-key": b"new-value"}
+    assert loaded.apply(update).root == tree.apply(update).root

@@ -1,0 +1,102 @@
+"""Property-based tests: SQL aggregates and the document store
+against plain-Python reference computations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.database import SpitzDatabase
+from repro.core.documents import DocumentStore
+
+amounts = st.lists(
+    st.integers(-1000, 1000), min_size=0, max_size=25
+)
+
+
+def _sales_db(values):
+    db = SpitzDatabase(block_batch=8)
+    db.sql("CREATE TABLE t (id INT, v INT, g STR, PRIMARY KEY (id))")
+    for index, value in enumerate(values):
+        group = "abc"[index % 3]
+        db.sql(
+            f"INSERT INTO t (id, v, g) VALUES ({index}, {value}, '{group}')"
+        )
+    return db
+
+
+@given(values=amounts)
+@settings(max_examples=40, deadline=None)
+def test_aggregates_match_python(values):
+    db = _sales_db(values)
+    assert db.sql("SELECT COUNT(*) FROM t") == [{"count(*)": len(values)}]
+    total = db.sql("SELECT SUM(v) FROM t")[0]["sum(v)"]
+    assert total == (sum(values) if values else None)
+    if values:
+        assert db.sql("SELECT MIN(v) FROM t")[0]["min(v)"] == min(values)
+        assert db.sql("SELECT MAX(v) FROM t")[0]["max(v)"] == max(values)
+        avg = db.sql("SELECT AVG(v) FROM t")[0]["avg(v)"]
+        assert abs(avg - sum(values) / len(values)) < 1e-9
+
+
+@given(values=amounts)
+@settings(max_examples=40, deadline=None)
+def test_group_by_partitions_exactly(values):
+    db = _sales_db(values)
+    rows = db.sql("SELECT g, COUNT(*) FROM t GROUP BY g")
+    reference = {}
+    for index, _value in enumerate(values):
+        group = "abc"[index % 3]
+        reference[group] = reference.get(group, 0) + 1
+    assert {row["g"]: row["count(*)"] for row in rows} == reference
+    # Group counts always add back up to the table count.
+    assert sum(row["count(*)"] for row in rows) == len(values)
+
+
+@given(values=amounts, low=st.integers(-1000, 1000),
+       span=st.integers(0, 500))
+@settings(max_examples=40, deadline=None)
+def test_order_by_is_a_permutation_of_where(values, low, span):
+    db = _sales_db(values)
+    high = low + span
+    ordered = db.sql(
+        f"SELECT v FROM t WHERE v BETWEEN {low} AND {high} ORDER BY v"
+    )
+    got = [row["v"] for row in ordered]
+    expected = sorted(v for v in values if low <= v <= high)
+    assert got == expected
+
+
+doc_scripts = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete"]),
+        st.integers(0, 8),  # doc id
+        st.integers(0, 50),  # field value
+    ),
+    max_size=30,
+)
+
+
+@given(script=doc_scripts)
+@settings(max_examples=40, deadline=None)
+def test_document_store_matches_dict_model(script):
+    store = DocumentStore()
+    collection = store.collection("c")
+    model = {}
+    for action, doc_number, value in script:
+        doc_id = f"d{doc_number}"
+        if action == "put":
+            document = {"n": value}
+            collection.put(doc_id, document)
+            model[doc_id] = document
+        else:
+            assert collection.delete(doc_id) == (doc_id in model)
+            model.pop(doc_id, None)
+    assert collection.ids() == sorted(model)
+    for doc_id, document in model.items():
+        assert collection.get(doc_id) == document
+    # find() agrees with a linear scan of the model.
+    for probe in {value for _, _, value in script} | {0}:
+        found = {doc_id for doc_id, _ in collection.find("n", value=probe)}
+        expected = {
+            doc_id for doc_id, doc in model.items() if doc["n"] == probe
+        }
+        assert found == expected
+    assert store.db.verify_chain()

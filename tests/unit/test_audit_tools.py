@@ -1,0 +1,131 @@
+"""Unit tests for the audit module (replicas, forks, proof bundles)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.audit import (
+    ProofBundle,
+    audit_ledger,
+    compare_replicas,
+    make_bundle,
+    verify_bundle,
+)
+from repro.core.database import SpitzDatabase
+from repro.core.ledger import SpitzLedger
+from repro.errors import VerificationError
+
+
+def _ledger(writes):
+    ledger = SpitzLedger()
+    for key, value in writes:
+        ledger.append_block({key: value})
+    return ledger
+
+
+class TestCompareReplicas:
+    def test_identical_replicas(self):
+        writes = [(f"k{i}".encode(), b"v") for i in range(5)]
+        report = compare_replicas(_ledger(writes), _ledger(writes))
+        assert report.consistent
+        assert report.common_prefix == 5
+
+    def test_lagging_replica_is_consistent(self):
+        writes = [(f"k{i}".encode(), b"v") for i in range(5)]
+        report = compare_replicas(_ledger(writes), _ledger(writes[:3]))
+        assert report.consistent
+        assert report.common_prefix == 3
+        assert "behind" in report.detail
+
+    def test_fork_detected_at_first_divergence(self):
+        shared = [(f"k{i}".encode(), b"v") for i in range(3)]
+        a = _ledger(shared + [(b"x", b"honest")])
+        b = _ledger(shared + [(b"x", b"forged")])
+        report = compare_replicas(a, b)
+        assert not report.consistent
+        assert report.fork_height == 3
+        assert report.common_prefix == 3
+
+    def test_divergence_propagates_forward(self):
+        a = _ledger([(b"a", b"1"), (b"b", b"2")])
+        b = _ledger([(b"a", b"other"), (b"b", b"2")])
+        report = compare_replicas(a, b)
+        assert report.fork_height == 0
+
+
+class TestAuditLedger:
+    def test_clean_ledger(self):
+        ledger = _ledger([(f"k{i}".encode(), b"v") for i in range(10)])
+        assert audit_ledger(ledger) == []
+
+    def test_detects_rewritten_block(self):
+        ledger = _ledger([(f"k{i}".encode(), b"v") for i in range(5)])
+        block = ledger._blocks[2]
+        ledger._blocks[2] = dataclasses.replace(
+            block, writes_digest=ledger._blocks[0].writes_digest
+        )
+        findings = audit_ledger(ledger)
+        assert any("#2" in finding for finding in findings)
+
+    def test_detects_broken_link(self):
+        ledger = _ledger([(f"k{i}".encode(), b"v") for i in range(5)])
+        block = ledger._blocks[3]
+        ledger._blocks[3] = dataclasses.replace(
+            block, previous_chain_digest=ledger._blocks[0].chain_digest
+        )
+        findings = audit_ledger(ledger)
+        assert findings
+
+
+class TestProofBundles:
+    def _db(self):
+        db = SpitzDatabase()
+        for i in range(20):
+            db.put(f"k{i:02d}".encode(), f"v{i}".encode())
+        return db
+
+    def test_bundle_round_trip(self):
+        db = self._db()
+        bundle = make_bundle(db.ledger, b"k\x00" + b"", "probe")
+        # Use a real ledger key.
+        bundle = make_bundle(db.ledger, b"k\x00k05", "k05 evidence")
+        blob = bundle.serialize()
+        restored = ProofBundle.deserialize(blob)
+        ok, message = verify_bundle(restored)
+        assert ok, message
+
+    def test_bundle_pinned_to_trusted_digest(self):
+        db = self._db()
+        bundle = make_bundle(db.ledger, b"k\x00k05")
+        ok, _ = verify_bundle(bundle, trusted=db.digest())
+        assert ok
+        db.put(b"later", b"write")
+        ok, message = verify_bundle(bundle, trusted=db.digest())
+        assert not ok
+        assert "digest" in message
+
+    def test_tampered_bundle_rejected(self):
+        db = self._db()
+        bundle = make_bundle(db.ledger, b"k\x00k05")
+        from repro.core.proofs import LedgerProof
+        from repro.indexes.siri import SiriProof
+
+        forged_proof = LedgerProof(
+            siri=SiriProof(
+                key=bundle.proof.siri.key,
+                value=b"forged",
+                nodes=bundle.proof.siri.nodes,
+            ),
+            block=bundle.proof.block,
+        )
+        forged = dataclasses.replace(bundle, proof=forged_proof)
+        ok, message = verify_bundle(forged)
+        assert not ok
+
+    def test_deserialize_garbage_rejected(self):
+        import pickle
+
+        with pytest.raises(Exception):
+            ProofBundle.deserialize(b"not a pickle")
+        with pytest.raises(VerificationError):
+            ProofBundle.deserialize(pickle.dumps({"not": "a bundle"}))

@@ -1,0 +1,189 @@
+"""Unit tests for the baseline system (journal, views, facade)."""
+
+import pytest
+
+from repro.baseline.journal import Journal
+from repro.baseline.ledger_db import BaselineLedgerDB
+from repro.baseline.views import MaterializedViews
+from repro.errors import ProofError
+
+
+class TestJournal:
+    def test_append_and_record(self):
+        journal = Journal(block_size=4)
+        record = journal.append(b"k", b"v")
+        assert record.sequence == 0
+        assert journal.record(0).value == b"v"
+
+    def test_blocks_seal_at_size(self):
+        journal = Journal(block_size=4)
+        for i in range(10):
+            journal.append(f"k{i}".encode(), b"v")
+        assert len(journal.blocks) == 2
+        journal.seal()
+        assert len(journal.blocks) == 3
+
+    def test_seal_empty_returns_none(self):
+        assert Journal().seal() is None
+
+    def test_locate_latest_finds_newest_version(self):
+        journal = Journal()
+        journal.append(b"k", b"v1")
+        journal.append(b"other", b"x")
+        journal.append(b"k", b"v2")
+        assert journal.locate_latest(b"k") == 2
+        assert journal.locate_latest(b"missing") is None
+
+    def test_prove_and_verify(self):
+        journal = Journal()
+        for i in range(20):
+            journal.append(f"k{i}".encode(), str(i).encode())
+        record, proof = journal.prove(7)
+        assert Journal.verify(record, proof, journal.root)
+
+    def test_prove_latest(self):
+        journal = Journal()
+        journal.append(b"k", b"old")
+        journal.append(b"k", b"new")
+        record, proof = journal.prove_latest(b"k")
+        assert record.value == b"new"
+        assert Journal.verify(record, proof, journal.root)
+        assert journal.prove_latest(b"ghost") is None
+
+    def test_prove_invalid_sequence(self):
+        with pytest.raises(ProofError):
+            Journal().prove(0)
+
+    def test_forged_record_rejected(self):
+        journal = Journal()
+        journal.append(b"k", b"v")
+        record, proof = journal.prove(0)
+        from repro.baseline.journal import JournalRecord
+
+        forged = JournalRecord(sequence=0, key=b"k", value=b"evil")
+        assert not Journal.verify(forged, proof, journal.root)
+
+    def test_verify_chain(self):
+        journal = Journal(block_size=2)
+        for i in range(7):
+            journal.append(f"k{i}".encode(), b"v")
+        journal.seal()
+        assert journal.verify_chain()
+
+    def test_verify_chain_detects_record_tamper(self):
+        journal = Journal(block_size=2)
+        for i in range(6):
+            journal.append(f"k{i}".encode(), b"v")
+        from repro.baseline.journal import JournalRecord
+
+        journal._records[1] = JournalRecord(
+            sequence=1, key=b"k1", value=b"tampered"
+        )
+        assert not journal.verify_chain()
+
+
+class TestMaterializedViews:
+    def test_current_view(self):
+        journal = Journal()
+        views = MaterializedViews()
+        views.apply(journal.append(b"k", b"v1"))
+        views.apply(journal.append(b"k", b"v2"))
+        sequence, value = views.get(b"k")
+        assert value == b"v2"
+        assert sequence == 1
+
+    def test_delete_removes_from_current(self):
+        journal = Journal()
+        views = MaterializedViews()
+        views.apply(journal.append(b"k", b"v"))
+        views.apply(journal.append(b"k", None))
+        assert views.get(b"k") is None
+
+    def test_history_view(self):
+        journal = Journal()
+        views = MaterializedViews()
+        views.apply(journal.append(b"k", b"v1"))
+        views.apply(journal.append(b"k", b"v2"))
+        views.apply(journal.append(b"k", None))
+        history = views.key_history(b"k")
+        assert [value for _, value in history] == [b"v1", b"v2", None]
+
+    def test_committed_meta(self):
+        journal = Journal()
+        views = MaterializedViews()
+        views.apply(journal.append(b"k", b"v"))
+        sequence, key, deleted = views.committed_meta(0)
+        assert (sequence, key, deleted) == (0, b"k", False)
+
+    def test_scan(self):
+        journal = Journal()
+        views = MaterializedViews()
+        for i in range(5):
+            views.apply(journal.append(f"k{i}".encode(), str(i).encode()))
+        found = views.scan(b"k1", b"k3")
+        assert [key for key, _seq, _v in found] == [b"k1", b"k2", b"k3"]
+
+    def test_maintenance_write_amplification(self):
+        journal = Journal()
+        views = MaterializedViews()
+        views.apply(journal.append(b"k", b"v"))
+        assert views.maintenance_writes == 3  # one write, three views
+
+
+class TestBaselineLedgerDB:
+    def test_put_get(self):
+        db = BaselineLedgerDB()
+        db.put(b"k", b"v")
+        assert db.get(b"k") == b"v"
+        assert db.get(b"ghost") is None
+
+    def test_verified_read(self):
+        db = BaselineLedgerDB()
+        for i in range(50):
+            db.put(f"k{i:02d}".encode(), str(i).encode())
+        value, proof = db.get_verified(b"k25")
+        assert value == b"25"
+        assert proof.verify(db.digest())
+
+    def test_verified_read_missing(self):
+        db = BaselineLedgerDB()
+        value, proof = db.get_verified(b"nope")
+        assert value is None and proof is None
+
+    def test_proof_invalid_after_updates(self):
+        db = BaselineLedgerDB()
+        db.put(b"k", b"v")
+        _value, proof = db.get_verified(b"k")
+        db.put(b"x", b"y")  # root advances
+        assert not proof.verify(db.digest())
+
+    def test_scan_and_scan_verified_agree(self):
+        db = BaselineLedgerDB()
+        for i in range(30):
+            db.put(f"k{i:02d}".encode(), str(i).encode())
+        plain = db.scan(b"k05", b"k14")
+        verified, proofs = db.scan_verified(b"k05", b"k14")
+        assert plain == verified
+        assert len(proofs) == len(verified)
+        assert all(p.verify(db.digest()) for p in proofs)
+
+    def test_delete_and_history(self):
+        db = BaselineLedgerDB()
+        db.put(b"k", b"v")
+        db.delete(b"k")
+        assert db.get(b"k") is None
+        assert db.history(b"k")[-1][1] is None
+
+    def test_chain_verification(self):
+        db = BaselineLedgerDB(block_size=4)
+        for i in range(10):
+            db.put(f"k{i}".encode(), b"v")
+        db.journal.seal()
+        assert db.verify_chain()
+
+    def test_len_counts_live_keys(self):
+        db = BaselineLedgerDB()
+        db.put(b"a", b"1")
+        db.put(b"b", b"2")
+        db.delete(b"a")
+        assert len(db) == 1

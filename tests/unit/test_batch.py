@@ -1,0 +1,61 @@
+"""Unit tests for deferred batch verification."""
+
+import pytest
+
+from repro.errors import TamperDetectedError
+from repro.txn.batch import DeferredVerifier
+
+
+class TestDeferredVerifier:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DeferredVerifier(batch_size=0)
+        with pytest.raises(ValueError):
+            DeferredVerifier(on_failure="explode")
+
+    def test_auto_flush_at_batch_size(self):
+        verifier = DeferredVerifier(batch_size=3)
+        ran = []
+        for i in range(3):
+            verifier.submit(f"c{i}", lambda i=i: ran.append(i) or True)
+        assert ran == [0, 1, 2]
+        assert verifier.pending == 0
+        assert verifier.flushes == 1
+
+    def test_checks_deferred_until_flush(self):
+        verifier = DeferredVerifier(batch_size=10)
+        ran = []
+        verifier.submit("c", lambda: ran.append(1) or True)
+        assert ran == []
+        verifier.flush()
+        assert ran == [1]
+
+    def test_failure_raises_by_default(self):
+        verifier = DeferredVerifier(batch_size=10)
+        verifier.submit("good", lambda: True)
+        verifier.submit("bad", lambda: False)
+        with pytest.raises(TamperDetectedError, match="bad"):
+            verifier.flush()
+
+    def test_failed_check_remains_inspectable(self):
+        verifier = DeferredVerifier(batch_size=10)
+        verifier.submit("bad", lambda: False)
+        verifier.submit("after", lambda: True)
+        with pytest.raises(TamperDetectedError):
+            verifier.flush()
+        # The failing check and everything after stay queued for audit.
+        assert verifier.pending == 2
+
+    def test_collect_mode_gathers_failures(self):
+        verifier = DeferredVerifier(batch_size=10, on_failure="collect")
+        verifier.submit("ok", lambda: True)
+        verifier.submit("bad1", lambda: False)
+        verifier.submit("bad2", lambda: False)
+        failed = verifier.flush()
+        assert failed == ["bad1", "bad2"]
+        assert verifier.failures == ["bad1", "bad2"]
+        assert verifier.verified == 3
+
+    def test_flush_empty_queue(self):
+        verifier = DeferredVerifier()
+        assert verifier.flush() == []

@@ -1,0 +1,75 @@
+"""Unit tests for the content-addressed chunk store."""
+
+import pytest
+
+from repro.errors import ChunkNotFoundError
+from repro.forkbase.chunk_store import ChunkStore
+
+
+class TestChunkStore:
+    def test_put_get_round_trip(self, store):
+        address = store.put(b"hello")
+        assert store.get(address) == b"hello"
+
+    def test_content_addressing_deduplicates(self, store):
+        first = store.put(b"same")
+        second = store.put(b"same")
+        assert first == second
+        assert len(store) == 1
+        assert store.stats.physical_bytes == 4
+        assert store.stats.logical_bytes == 8
+
+    def test_distinct_content_distinct_addresses(self, store):
+        assert store.put(b"a") != store.put(b"b")
+
+    def test_missing_chunk_raises(self, store):
+        from repro.crypto.hashing import hash_bytes
+
+        with pytest.raises(ChunkNotFoundError):
+            store.get(hash_bytes(b"never stored"))
+
+    def test_get_optional_returns_none(self, store):
+        from repro.crypto.hashing import hash_bytes
+
+        assert store.get_optional(hash_bytes(b"nope")) is None
+
+    def test_refcounts(self, store):
+        address = store.put(b"x")
+        store.put(b"x")
+        assert store.refcount(address) == 2
+        assert store.release(address) == 1
+        assert store.release(address) == 0
+
+    def test_release_unknown_raises(self, store):
+        from repro.crypto.hashing import hash_bytes
+
+        with pytest.raises(ChunkNotFoundError):
+            store.release(hash_bytes(b"ghost"))
+
+    def test_release_keeps_data_until_compact(self, store):
+        address = store.put(b"keep me")
+        store.release(address)
+        assert store.get(address) == b"keep me"
+        assert store.reclaimable_bytes() == 7
+
+    def test_compact_frees_zero_ref_chunks(self, store):
+        address = store.put(b"dead")
+        keep = store.put(b"alive")
+        store.release(address)
+        freed = store.compact()
+        assert freed == 4
+        assert address not in store
+        assert store.get(keep) == b"alive"
+
+    def test_dedup_ratio(self, store):
+        for _ in range(4):
+            store.put(b"0123456789")
+        assert store.stats.dedup_ratio == pytest.approx(4.0)
+
+    def test_empty_store_ratio_is_one(self, store):
+        assert store.stats.dedup_ratio == 1.0
+
+    def test_addresses_iteration(self, store):
+        a = store.put(b"1")
+        b = store.put(b"2")
+        assert {a, b} == set(store.addresses())

@@ -1,0 +1,98 @@
+"""Unit tests for content-defined and fixed-size chunking."""
+
+import random
+
+import pytest
+
+from repro.forkbase.chunker import FixedSizeChunker, RollingChunker
+
+
+def _random_bytes(n, seed=0):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+class TestFixedSizeChunker:
+    def test_reassembles(self):
+        data = _random_bytes(10_000)
+        chunks = FixedSizeChunker(1024).split(data)
+        assert b"".join(chunks) == data
+
+    def test_chunk_sizes(self):
+        chunks = FixedSizeChunker(100).split(b"x" * 350)
+        assert [len(c) for c in chunks] == [100, 100, 100, 50]
+
+    def test_empty_input(self):
+        assert FixedSizeChunker(10).split(b"") == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(0)
+
+    def test_insert_shifts_all_later_chunks(self):
+        data = _random_bytes(8000)
+        shifted = b"!" + data
+        chunker = FixedSizeChunker(512)
+        original = set(chunker.split(data))
+        after = set(chunker.split(shifted))
+        # Fixed-size chunking shares almost nothing after a 1-byte insert.
+        assert len(original & after) <= 1
+
+
+class TestRollingChunker:
+    def test_reassembles(self):
+        data = _random_bytes(50_000)
+        chunks = RollingChunker().split(data)
+        assert b"".join(chunks) == data
+
+    def test_deterministic(self):
+        data = _random_bytes(20_000, seed=3)
+        assert RollingChunker().split(data) == RollingChunker().split(data)
+
+    def test_empty_input(self):
+        assert RollingChunker().split(b"") == []
+
+    def test_respects_min_and_max(self):
+        chunker = RollingChunker(mask_bits=6, min_size=256, max_size=1024)
+        chunks = chunker.split(_random_bytes(30_000))
+        for chunk in chunks[:-1]:
+            assert 256 <= len(chunk) <= 1024
+        assert len(chunks[-1]) <= 1024
+
+    def test_expected_chunk_size_order_of_magnitude(self):
+        chunker = RollingChunker(mask_bits=9, min_size=64, max_size=65536)
+        chunks = chunker.split(_random_bytes(200_000, seed=1))
+        mean = sum(len(c) for c in chunks) / len(chunks)
+        # Expected size ~ 2**9 + min_size; allow a wide band.
+        assert 128 < mean < 4096
+
+    def test_localized_edit_preserves_most_chunks(self):
+        data = bytearray(_random_bytes(64_000, seed=5))
+        chunker = RollingChunker()
+        original = set(chunker.split(bytes(data)))
+        data[30_000:30_100] = b"Z" * 100  # same-length localized edit
+        edited = set(chunker.split(bytes(data)))
+        shared = len(original & edited)
+        assert shared / len(original) > 0.6
+
+    def test_insertion_resynchronizes(self):
+        # The content-defined property: after an insertion, chunking
+        # resynchronizes and most chunks stay identical.
+        data = _random_bytes(64_000, seed=6)
+        edited = data[:10_000] + b"INSERTED" + data[10_000:]
+        chunker = RollingChunker()
+        original = set(chunker.split(data))
+        after = set(chunker.split(edited))
+        assert len(original & after) / len(original) > 0.6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RollingChunker(mask_bits=0)
+        with pytest.raises(ValueError):
+            RollingChunker(min_size=10, window=48)
+        with pytest.raises(ValueError):
+            RollingChunker(min_size=512, max_size=256)
+
+    def test_small_input_single_chunk(self):
+        chunker = RollingChunker(min_size=256)
+        assert chunker.split(b"tiny") == [b"tiny"]

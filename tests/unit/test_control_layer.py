@@ -1,0 +1,183 @@
+"""Unit tests for the control layer: auditor, request handler, nodes."""
+
+import pytest
+
+from repro.core.auditor import Auditor
+from repro.core.database import SpitzDatabase
+from repro.core.node import MessageQueue, ProcessorNode, SpitzCluster
+from repro.core.request_handler import (
+    Request,
+    RequestHandler,
+    RequestKind,
+    Response,
+)
+from repro.core.verifier import ClientVerifier
+from repro.errors import VerificationError
+from repro.indexes.siri import DELETE
+
+
+class TestAuditor:
+    def test_record_returns_block_and_proof(self, db):
+        auditor = Auditor(db.ledger)
+        block, proof = auditor.record({b"k": b"v"}, statements=("PUT",))
+        assert block.height == 0
+        assert proof.verify(db.ledger.digest().chain_digest)
+        assert auditor.writes_recorded == 1
+
+    def test_rejects_invalid_keys(self, db):
+        auditor = Auditor(db.ledger)
+        with pytest.raises(VerificationError):
+            auditor.record({b"": b"v"})
+        with pytest.raises(VerificationError):
+            auditor.record({"not-bytes": b"v"})
+
+    def test_prove(self, db):
+        auditor = Auditor(db.ledger)
+        auditor.record({b"k": b"v"})
+        value, proof = auditor.prove(b"k")
+        assert value == b"v"
+        assert auditor.proofs_issued == 2
+
+    def test_prove_range(self, db):
+        auditor = Auditor(db.ledger)
+        auditor.record({b"a": b"1", b"b": b"2", b"c": b"3"})
+        entries, proof = auditor.prove_range(b"a", b"b")
+        assert len(entries) == 2
+        assert proof.verify(auditor.digest().chain_digest)
+
+    def test_audit_chain(self, db):
+        auditor = Auditor(db.ledger)
+        for i in range(5):
+            auditor.record({f"k{i}".encode(): b"v"})
+        assert auditor.audit_chain()
+
+    def test_record_delete(self, db):
+        auditor = Auditor(db.ledger)
+        auditor.record({b"k": b"v"})
+        auditor.record({b"k": DELETE})
+        assert db.ledger.get(b"k") is None
+
+
+class TestRequestHandler:
+    def test_put_then_get(self, db):
+        handler = RequestHandler(db)
+        put = handler.handle(
+            Request(RequestKind.PUT, {"key": b"k", "value": b"v"})
+        )
+        assert put.ok
+        got = handler.handle(Request(RequestKind.GET, {"key": b"k"}))
+        assert got.result == b"v"
+
+    def test_verified_get_carries_proof_and_digest(self, db):
+        handler = RequestHandler(db)
+        handler.handle(Request(RequestKind.PUT, {"key": b"k", "value": b"v"}))
+        response = handler.handle(
+            Request(RequestKind.GET, {"key": b"k"}, verify=True)
+        )
+        assert response.proof is not None
+        verifier = ClientVerifier()
+        verifier.trust(response.digest)
+        assert verifier.verify(response.proof)
+
+    def test_scan(self, loaded_db):
+        handler = RequestHandler(loaded_db)
+        response = handler.handle(
+            Request(
+                RequestKind.SCAN,
+                {"low": b"key0000", "high": b"key0004"},
+            )
+        )
+        assert len(response.result) == 5
+
+    def test_sql_request(self, db):
+        handler = RequestHandler(db)
+        response = handler.handle(
+            Request(
+                RequestKind.SQL,
+                {"text": "CREATE TABLE t (id INT, PRIMARY KEY (id))"},
+            )
+        )
+        assert response.ok
+
+    def test_history_request(self, db):
+        db.put(b"k", b"v1")
+        db.put(b"k", b"v2")
+        handler = RequestHandler(db)
+        response = handler.handle(
+            Request(RequestKind.HISTORY, {"key": b"k"})
+        )
+        assert [v for _, v in response.result] == [b"v1", b"v2"]
+
+    def test_errors_become_responses(self, db):
+        handler = RequestHandler(db)
+        response = handler.handle(
+            Request(RequestKind.SQL, {"text": "NOT SQL AT ALL"})
+        )
+        assert not response.ok
+        assert response.error
+
+    def test_delete_request(self, db):
+        handler = RequestHandler(db)
+        handler.handle(Request(RequestKind.PUT, {"key": b"k", "value": b"v"}))
+        handler.handle(Request(RequestKind.DELETE, {"key": b"k"}))
+        assert db.get(b"k") is None
+
+    def test_digest_request(self, db):
+        handler = RequestHandler(db)
+        response = handler.handle(Request(RequestKind.DIGEST))
+        assert response.ok
+
+
+class TestProcessorNodes:
+    def test_serve_one(self, db):
+        mq = MessageQueue()
+        node = ProcessorNode("p0", db, mq)
+        envelope = mq.submit(
+            Request(RequestKind.PUT, {"key": b"k", "value": b"v"})
+        )
+        assert node.serve_one()
+        assert envelope.response.ok
+        assert node.processed == 1
+
+    def test_serve_one_times_out_quietly(self, db):
+        node = ProcessorNode("p0", db, MessageQueue())
+        assert not node.serve_one(timeout=0.01)
+
+    def test_cluster_round_trip(self):
+        cluster = SpitzCluster(nodes=2)
+        cluster.start()
+        try:
+            put = cluster.submit(
+                Request(RequestKind.PUT, {"key": b"k", "value": b"v"})
+            )
+            assert put.ok
+            got = cluster.submit(
+                Request(RequestKind.GET, {"key": b"k"}, verify=True)
+            )
+            assert got.result == b"v"
+            verifier = ClientVerifier()
+            verifier.trust(got.digest)
+            assert verifier.verify(got.proof)
+        finally:
+            cluster.stop()
+
+    def test_cluster_requires_nodes(self):
+        with pytest.raises(ValueError):
+            SpitzCluster(nodes=0)
+
+    def test_many_requests_distributed(self):
+        cluster = SpitzCluster(nodes=3)
+        cluster.start()
+        try:
+            for i in range(30):
+                response = cluster.submit(
+                    Request(
+                        RequestKind.PUT,
+                        {"key": f"k{i}".encode(), "value": b"v"},
+                    )
+                )
+                assert response.ok
+            processed = sum(node.processed for node in cluster.nodes)
+            assert processed == 30
+        finally:
+            cluster.stop()

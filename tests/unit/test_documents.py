@@ -1,0 +1,150 @@
+"""Unit tests for the JSON document interface."""
+
+import pytest
+
+from repro.core.documents import Collection, DocumentStore
+from repro.errors import QueryError, SchemaError
+
+
+@pytest.fixture
+def docs():
+    return DocumentStore()
+
+
+@pytest.fixture
+def patients(docs):
+    collection = docs.collection(
+        "patients",
+        schema={"required": ["name"], "types": {"name": "str", "age": "int"}},
+    )
+    collection.put("p1", {"name": "alice", "age": 34, "city": "oslo"})
+    collection.put("p2", {"name": "bob", "age": 58, "city": "oslo"})
+    collection.put("p3", {"name": "carol", "age": 41, "city": "turin"})
+    return collection
+
+
+class TestCrud:
+    def test_put_get(self, docs):
+        c = docs.collection("c")
+        c.put("d1", {"x": 1})
+        assert c.get("d1") == {"x": 1}
+
+    def test_get_missing(self, docs):
+        assert docs.collection("c").get("ghost") is None
+
+    def test_replace(self, patients):
+        patients.put("p1", {"name": "alice", "age": 35})
+        assert patients.get("p1")["age"] == 35
+
+    def test_delete(self, patients):
+        assert patients.delete("p1")
+        assert patients.get("p1") is None
+        assert not patients.delete("p1")
+
+    def test_ids_sorted(self, patients):
+        assert patients.ids() == ["p1", "p2", "p3"]
+
+    def test_nested_documents(self, docs):
+        c = docs.collection("c")
+        document = {"meta": {"tags": ["a", "b"], "depth": {"x": 1}}}
+        c.put("d", document)
+        assert c.get("d") == document
+
+    def test_invalid_collection_name(self, docs):
+        with pytest.raises(SchemaError):
+            docs.collection("")
+
+    def test_invalid_doc_id(self, docs):
+        with pytest.raises(SchemaError):
+            docs.collection("c").put("", {"x": 1})
+
+    def test_collections_isolated(self, docs):
+        docs.collection("a").put("d", {"v": 1})
+        docs.collection("b").put("d", {"v": 2})
+        assert docs.collection("a").get("d") == {"v": 1}
+        assert docs.collection("b").get("d") == {"v": 2}
+
+
+class TestSchema:
+    def test_required_enforced(self, patients):
+        with pytest.raises(SchemaError, match="required"):
+            patients.put("p9", {"age": 1})
+
+    def test_types_enforced(self, patients):
+        with pytest.raises(SchemaError):
+            patients.put("p9", {"name": "x", "age": "not-int"})
+
+    def test_bool_is_not_int(self, patients):
+        with pytest.raises(SchemaError):
+            patients.put("p9", {"name": "x", "age": True})
+
+    def test_unknown_schema_type(self, docs):
+        c = docs.collection("c", schema={"types": {"x": "widget"}})
+        with pytest.raises(SchemaError):
+            c.put("d", {"x": 1})
+
+    def test_extra_fields_allowed(self, patients):
+        patients.put("p9", {"name": "dora", "anything": [1, 2]})
+        assert patients.get("p9")["anything"] == [1, 2]
+
+    def test_conflicting_schema_rejected(self, docs):
+        docs.collection("c", schema={"required": ["a"]})
+        with pytest.raises(SchemaError):
+            docs.collection("c", schema={"required": ["b"]})
+
+    def test_non_object_rejected(self, docs):
+        with pytest.raises(SchemaError):
+            docs.collection("c").put("d", [1, 2, 3])
+
+
+class TestQueries:
+    def test_find_equality(self, patients):
+        found = patients.find("city", value="oslo")
+        assert [doc_id for doc_id, _ in found] == ["p1", "p2"]
+
+    def test_find_range(self, patients):
+        found = patients.find("age", low=40, high=60)
+        assert sorted(doc_id for doc_id, _ in found) == ["p2", "p3"]
+
+    def test_find_requires_arguments(self, patients):
+        with pytest.raises(QueryError):
+            patients.find("age")
+
+    def test_find_reflects_updates(self, patients):
+        patients.put("p1", {"name": "alice", "age": 34, "city": "turin"})
+        assert [d for d, _ in patients.find("city", value="oslo")] == ["p2"]
+        found = [d for d, _ in patients.find("city", value="turin")]
+        assert found == ["p1", "p3"]
+
+    def test_find_after_delete(self, patients):
+        patients.delete("p2")
+        assert [d for d, _ in patients.find("city", value="oslo")] == ["p1"]
+
+
+class TestVerificationAndHistory:
+    def test_verified_get(self, docs, patients):
+        verifier = docs.verifier()
+        document, proof = patients.get_verified("p1")
+        assert document["name"] == "alice"
+        assert verifier.verify(proof)
+
+    def test_verified_absence(self, docs, patients):
+        verifier = docs.verifier()
+        document, proof = patients.get_verified("ghost")
+        assert document is None
+        assert verifier.verify(proof)
+
+    def test_history(self, patients):
+        patients.put("p1", {"name": "alice", "age": 35})
+        patients.delete("p1")
+        states = [state for _, state in patients.history("p1")]
+        # p1 was written in the very first block, so history starts
+        # with the document itself (no prior "absent" state exists).
+        assert states[0]["age"] == 34
+        assert states[1]["age"] == 35
+        assert states[2] is None
+
+    def test_get_at_block(self, docs, patients):
+        height = docs.db.ledger.height - 1
+        patients.put("p1", {"name": "alice", "age": 99})
+        assert patients.get_at_block("p1", height)["age"] == 34

@@ -1,0 +1,88 @@
+"""Unit tests for canonical encoding and digests."""
+
+import pytest
+
+from repro.crypto.hashing import (
+    Digest,
+    EMPTY_DIGEST,
+    canonical_encode,
+    hash_bytes,
+    hash_many,
+    hash_value,
+)
+
+
+class TestDigest:
+    def test_requires_32_bytes(self):
+        with pytest.raises(ValueError):
+            Digest(b"short")
+
+    def test_round_trips_hex(self):
+        digest = hash_bytes(b"abc")
+        assert Digest.from_hex(digest.hex()) == digest
+
+    def test_is_usable_as_dict_key(self):
+        mapping = {hash_bytes(b"a"): 1, hash_bytes(b"b"): 2}
+        assert mapping[hash_bytes(b"a")] == 1
+
+    def test_short_is_prefix_of_hex(self):
+        digest = hash_bytes(b"xyz")
+        assert digest.hex().startswith(digest.short)
+
+    def test_empty_digest_matches_sha256_of_empty(self):
+        assert EMPTY_DIGEST == hash_bytes(b"")
+
+
+class TestCanonicalEncode:
+    def test_distinct_types_encode_differently(self):
+        values = [None, True, False, 0, 0.0, "", b"", (), {}]
+        encodings = [canonical_encode(v) for v in values]
+        assert len(set(encodings)) == len(values)
+
+    def test_int_and_string_of_same_text_differ(self):
+        assert canonical_encode(42) != canonical_encode("42")
+
+    def test_list_concatenation_is_unambiguous(self):
+        assert canonical_encode(["ab", "c"]) != canonical_encode(["a", "bc"])
+
+    def test_nested_structures(self):
+        value = {"a": [1, 2, {"b": b"bytes"}], "c": (True, None)}
+        assert canonical_encode(value) == canonical_encode(value)
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode(
+            {"b": 2, "a": 1}
+        )
+
+    def test_frozenset_order_irrelevant(self):
+        assert canonical_encode(frozenset({1, 2, 3})) == canonical_encode(
+            frozenset({3, 1, 2})
+        )
+
+    def test_tuple_and_list_encode_identically(self):
+        # Both are sequences; logical equality is what matters.
+        assert canonical_encode((1, 2)) == canonical_encode([1, 2])
+
+    def test_bool_is_not_int(self):
+        assert canonical_encode(True) != canonical_encode(1)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+    def test_float_round_trip_precision(self):
+        assert canonical_encode(0.1 + 0.2) != canonical_encode(0.3)
+
+
+class TestHashers:
+    def test_hash_value_deterministic(self):
+        assert hash_value({"k": [1, "two"]}) == hash_value({"k": [1, "two"]})
+
+    def test_hash_many_length_prefixed(self):
+        assert hash_many([b"ab", b"c"]) != hash_many([b"a", b"bc"])
+
+    def test_hash_many_accepts_generator(self):
+        assert hash_many(p for p in [b"x", b"y"]) == hash_many([b"x", b"y"])
+
+    def test_hash_bytes_distinct_inputs(self):
+        assert hash_bytes(b"a") != hash_bytes(b"b")

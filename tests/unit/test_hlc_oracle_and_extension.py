@@ -1,0 +1,146 @@
+"""Tests for the HLC timestamp source and ledger extension proofs."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.database import SpitzDatabase
+from repro.core.verifier import ClientVerifier
+from repro.errors import TamperDetectedError, VerificationError
+from repro.txn.hlc import HlcOracle, HybridLogicalClock
+from repro.txn.manager import TransactionManager
+from repro.txn.two_pc import Participant, TwoPhaseCoordinator
+
+
+class TestHlcOracle:
+    def test_monotonic_allocations(self):
+        oracle = HlcOracle(node_id=1)
+        stamps = [oracle.next_timestamp() for _ in range(100)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 100
+
+    def test_node_id_disambiguates(self):
+        frozen = lambda: 42  # noqa: E731 - deliberately frozen clocks
+        a = HlcOracle(0, HybridLogicalClock(physical_clock=frozen))
+        b = HlcOracle(1, HybridLogicalClock(physical_clock=frozen))
+        assert a.next_timestamp() != b.next_timestamp()
+
+    def test_invalid_node_id(self):
+        with pytest.raises(ValueError):
+            HlcOracle(node_id=5000)
+
+    def test_witness_orders_cross_node_allocations(self):
+        frozen_fast = lambda: 1000  # noqa: E731
+        frozen_slow = lambda: 10    # noqa: E731
+        fast = HlcOracle(0, HybridLogicalClock(physical_clock=frozen_fast))
+        slow = HlcOracle(1, HybridLogicalClock(physical_clock=frozen_slow))
+        sent = fast.next_timestamp()
+        slow.witness(sent)  # message from fast node arrives at slow node
+        assert slow.next_timestamp() > sent
+
+    def test_works_as_transaction_manager_oracle(self):
+        manager = TransactionManager(oracle=HlcOracle(node_id=3))
+        manager.run(lambda t: t.write("k", 1))
+        manager.run(lambda t: t.write("k", 2))
+        assert manager.begin().read("k") == 2
+
+    def test_two_pc_with_per_node_hlc(self):
+        """Section 5.2's decentralized ordering: each 2PC participant
+        allocates its own timestamps from its own HLC."""
+        a = Participant(
+            "a", TransactionManager(oracle=HlcOracle(node_id=0))
+        )
+        b = Participant(
+            "b", TransactionManager(oracle=HlcOracle(node_id=1))
+        )
+        coordinator = TwoPhaseCoordinator([a, b])
+        coordinator.execute({"a": {"x": 1}, "b": {"y": 1}})
+        coordinator.execute({"a": {"x": 2}, "b": {"y": 2}})
+        assert a.manager.begin().read("x") == 2
+        assert b.manager.begin().read("y") == 2
+
+
+class TestExtensionProofs:
+    def _db_with_client(self):
+        db = SpitzDatabase()
+        for i in range(10):
+            db.put(f"k{i}".encode(), b"v")
+        client = ClientVerifier()
+        client.trust(db.digest())
+        return db, client
+
+    def test_honest_extension_accepted(self):
+        db, client = self._db_with_client()
+        old_height = client.trusted_digest.height
+        for i in range(5):
+            db.put(f"new{i}".encode(), b"v")
+        extension = db.ledger.extension_proof(old_height)
+        client.advance(db.digest(), extension)
+        assert client.trusted_digest.height == 15
+
+    def test_empty_extension_for_unchanged_ledger(self):
+        db, client = self._db_with_client()
+        extension = db.ledger.extension_proof(
+            client.trusted_digest.height
+        )
+        client.advance(db.digest(), extension)
+
+    def test_requires_trust_anchor(self):
+        db, _client = self._db_with_client()
+        fresh = ClientVerifier()
+        with pytest.raises(VerificationError):
+            fresh.advance(db.digest(), [])
+
+    def test_wrong_length_rejected(self):
+        db, client = self._db_with_client()
+        old_height = client.trusted_digest.height
+        db.put(b"new", b"v")
+        extension = db.ledger.extension_proof(old_height)
+        with pytest.raises(TamperDetectedError):
+            client.advance(db.digest(), extension[:-1] if len(extension) > 1 else [])
+
+    def test_forked_extension_rejected(self):
+        db, client = self._db_with_client()
+        old_height = client.trusted_digest.height
+        # A second, diverging database pretending to extend ours.
+        other = SpitzDatabase()
+        for i in range(12):
+            other.put(f"fake{i}".encode(), b"v")
+        extension = other.ledger.extension_proof(old_height)
+        with pytest.raises(TamperDetectedError):
+            client.advance(other.digest(), extension)
+
+    def test_tampered_witness_rejected(self):
+        db, client = self._db_with_client()
+        old_height = client.trusted_digest.height
+        db.put(b"new", b"v")
+        extension = db.ledger.extension_proof(old_height)
+        forged = [
+            dataclasses.replace(
+                extension[0], writes_digest=extension[0].statements_digest
+            )
+        ] + list(extension[1:])
+        with pytest.raises(TamperDetectedError):
+            client.advance(db.digest(), forged)
+
+    def test_mismatched_tree_root_rejected(self):
+        db, client = self._db_with_client()
+        old_height = client.trusted_digest.height
+        db.put(b"new", b"v")
+        extension = db.ledger.extension_proof(old_height)
+        offered = dataclasses.replace(
+            db.digest(), tree_root=client.trusted_digest.tree_root
+        )
+        with pytest.raises(TamperDetectedError):
+            client.advance(offered, extension)
+
+    def test_verified_read_after_advance(self):
+        db, client = self._db_with_client()
+        old_height = client.trusted_digest.height
+        db.put(b"fresh", b"value")
+        client.advance(
+            db.digest(), db.ledger.extension_proof(old_height)
+        )
+        value, proof = db.get_verified(b"fresh")
+        assert value == b"value"
+        client.verify_or_raise(proof)

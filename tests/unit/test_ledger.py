@@ -1,0 +1,154 @@
+"""Unit tests for the Spitz ledger."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import CommitNotFoundError
+from repro.indexes.siri import DELETE
+from repro.core.ledger import SpitzLedger
+
+
+class TestLedgerBlocks:
+    def test_empty_ledger(self):
+        ledger = SpitzLedger()
+        assert ledger.height == 0
+        assert ledger.latest_block() is None
+        assert ledger.get(b"k") is None
+
+    def test_append_block(self):
+        ledger = SpitzLedger()
+        block = ledger.append_block({b"k": b"v"}, statements=("PUT k",))
+        assert block.height == 0
+        assert block.write_count == 1
+        assert ledger.get(b"k") == b"v"
+
+    def test_chain_links(self):
+        ledger = SpitzLedger()
+        first = ledger.append_block({b"a": b"1"})
+        second = ledger.append_block({b"b": b"2"})
+        assert second.previous_chain_digest == first.chain_digest
+
+    def test_block_lookup(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"a": b"1"})
+        assert ledger.block(0).height == 0
+        with pytest.raises(CommitNotFoundError):
+            ledger.block(5)
+
+    def test_delete_in_block(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"k": b"v"})
+        ledger.append_block({b"k": DELETE})
+        assert ledger.get(b"k") is None
+        assert ledger.get_at(b"k", 0) == b"v"
+
+    def test_digest_reflects_state(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"a": b"1"})
+        first = ledger.digest()
+        ledger.append_block({b"b": b"2"})
+        second = ledger.digest()
+        assert first.chain_digest != second.chain_digest
+        assert first.tree_root != second.tree_root
+        assert second.height == 2
+
+    def test_statements_affect_block_digest(self):
+        one = SpitzLedger()
+        other = SpitzLedger()
+        a = one.append_block({b"k": b"v"}, statements=("stmt-1",))
+        b = other.append_block({b"k": b"v"}, statements=("stmt-2",))
+        assert a.tree_root == b.tree_root  # same data
+        assert a.chain_digest != b.chain_digest  # different provenance
+
+
+class TestLedgerProofs:
+    def test_point_proof(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"k": b"v"})
+        value, proof = ledger.get_with_proof(b"k")
+        assert value == b"v"
+        assert proof.verify(ledger.digest().chain_digest)
+
+    def test_proof_on_empty_ledger_raises(self):
+        with pytest.raises(CommitNotFoundError):
+            SpitzLedger().get_with_proof(b"k")
+
+    def test_range_proof(self):
+        ledger = SpitzLedger()
+        ledger.append_block(
+            {f"k{i:02d}".encode(): str(i).encode() for i in range(30)}
+        )
+        entries, proof = ledger.scan_with_proof(b"k05", b"k14")
+        assert len(entries) == 10
+        assert proof.verify(ledger.digest().chain_digest)
+
+    def test_historical_proof_binds_to_its_block(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"k": b"v1"})
+        ledger.append_block({b"k": b"v2"})
+        value, proof = ledger.get_at_with_proof(b"k", 0)
+        assert value == b"v1"
+        assert proof.verify(ledger.block(0).chain_digest)
+        assert not proof.verify(ledger.digest().chain_digest)
+
+    def test_forged_block_witness_rejected(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"k": b"v"})
+        _value, proof = ledger.get_with_proof(b"k")
+        forged_block = dataclasses.replace(proof.block, height=99)
+        forged = dataclasses.replace(proof, block=forged_block)
+        assert not forged.verify(ledger.digest().chain_digest)
+
+
+class TestLedgerHistory:
+    def test_tree_instances_per_block(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"k": b"v1"})
+        ledger.append_block({b"k": b"v2"})
+        assert ledger.tree_at(0).get(b"k") == b"v1"
+        assert ledger.tree_at(1).get(b"k") == b"v2"
+        with pytest.raises(CommitNotFoundError):
+            ledger.tree_at(7)
+
+    def test_key_history(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"k": b"v1"})
+        ledger.append_block({b"other": b"x"})
+        ledger.append_block({b"k": b"v2"})
+        ledger.append_block({b"k": DELETE})
+        history = ledger.key_history(b"k")
+        assert history == [(0, b"v1"), (2, b"v2"), (3, None)]
+
+    def test_instances_share_nodes(self):
+        ledger = SpitzLedger()
+        ledger.append_block(
+            {f"k{i:03d}".encode(): b"v" for i in range(500)}
+        )
+        before = ledger.chunks.stats.unique_chunks
+        ledger.append_block({b"k000": b"changed"})
+        added = ledger.chunks.stats.unique_chunks - before
+        assert added < 12  # one path, not a new tree
+
+    def test_verify_chain_accepts_honest_history(self):
+        ledger = SpitzLedger()
+        for i in range(10):
+            ledger.append_block({f"k{i}".encode(): b"v"})
+        assert ledger.verify_chain()
+
+    def test_verify_chain_detects_rewritten_block(self):
+        ledger = SpitzLedger()
+        for i in range(5):
+            ledger.append_block({f"k{i}".encode(): b"v"})
+        tampered = dataclasses.replace(
+            ledger._blocks[2], writes_digest=ledger._blocks[3].writes_digest
+        )
+        ledger._blocks[2] = tampered
+        assert not ledger.verify_chain()
+
+    def test_storage_report(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"k": b"v"})
+        report = ledger.storage_report()
+        assert report["blocks"] == 1
+        assert report["physical_bytes"] > 0

@@ -1,0 +1,132 @@
+"""Unit tests for the Merkle tree and hash chain."""
+
+import pytest
+
+from repro.crypto.hashing import EMPTY_DIGEST, hash_value
+from repro.crypto.merkle import HashChain, MerkleProof, MerkleTree
+from repro.errors import ProofError
+
+
+class TestMerkleTree:
+    def test_empty_tree_root(self):
+        assert MerkleTree().root == EMPTY_DIGEST
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        proof = tree.prove(0)
+        assert proof.verify(b"only", tree.root)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 17, 33, 100])
+    def test_every_leaf_provable(self, n):
+        leaves = [f"leaf-{i}".encode() for i in range(n)]
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert tree.prove(i).verify(leaf, tree.root)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 13, 64])
+    def test_incremental_append_equals_bulk(self, n):
+        leaves = [bytes([i]) for i in range(n)]
+        incremental = MerkleTree()
+        for leaf in leaves:
+            incremental.append(leaf)
+        bulk = MerkleTree()
+        bulk.extend(leaves)
+        assert incremental.root == bulk.root
+
+    def test_wrong_leaf_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        assert not tree.prove(1).verify(b"forged", tree.root)
+
+    def test_wrong_root_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        other = MerkleTree([b"a", b"b", b"d"])
+        assert not tree.prove(0).verify(b"a", other.root)
+
+    def test_proof_from_wrong_index_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        assert not tree.prove(0).verify(b"b", tree.root)
+
+    def test_out_of_range_proof_raises(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(ProofError):
+            tree.prove(5)
+
+    def test_appending_changes_root(self):
+        tree = MerkleTree([b"a"])
+        before = tree.root
+        tree.append(b"b")
+        assert tree.root != before
+
+    def test_old_proofs_invalid_after_append(self):
+        tree = MerkleTree([b"a", b"b"])
+        proof = tree.prove(0)
+        root_before = tree.root
+        tree.append(b"c")
+        assert proof.verify(b"a", root_before)
+        # The old path may or may not suffice for the new root, but
+        # verification against the *old* root must remain possible.
+        assert tree.root != root_before
+
+    def test_leaf_accessor(self):
+        tree = MerkleTree([b"x", b"y"])
+        assert tree.leaf(1) == b"y"
+
+    def test_duplicate_leaf_content_distinct_positions(self):
+        tree = MerkleTree([b"same", b"same"])
+        assert tree.prove(0).verify(b"same", tree.root)
+        assert tree.prove(1).verify(b"same", tree.root)
+
+    def test_proof_size_accounting(self):
+        tree = MerkleTree([bytes([i]) for i in range(64)])
+        proof = tree.prove(0)
+        assert proof.size_bytes > 0
+        assert len(proof.path) == 6  # perfect tree of 64 leaves
+
+
+class TestHashChain:
+    def test_empty_head(self):
+        assert HashChain().head == EMPTY_DIGEST
+
+    def test_append_advances_head(self):
+        chain = HashChain()
+        first = chain.append(hash_value("a"))
+        second = chain.append(hash_value("b"))
+        assert first.chain_digest != second.chain_digest
+        assert chain.head == second.chain_digest
+
+    def test_verify_prefix_accepts_true_history(self):
+        chain = HashChain()
+        digests = [hash_value(i) for i in range(5)]
+        for digest in digests:
+            chain.append(digest)
+        assert chain.verify_prefix(digests)
+        assert chain.verify_prefix(digests[:3])
+
+    def test_verify_prefix_rejects_reorder(self):
+        chain = HashChain()
+        digests = [hash_value(i) for i in range(3)]
+        for digest in digests:
+            chain.append(digest)
+        assert not chain.verify_prefix([digests[1], digests[0], digests[2]])
+
+    def test_verify_prefix_rejects_tamper(self):
+        chain = HashChain()
+        digests = [hash_value(i) for i in range(3)]
+        for digest in digests:
+            chain.append(digest)
+        forged = list(digests)
+        forged[1] = hash_value("evil")
+        assert not chain.verify_prefix(forged)
+
+    def test_verify_prefix_rejects_overlong(self):
+        chain = HashChain()
+        digest = hash_value("x")
+        chain.append(digest)
+        assert not chain.verify_prefix([digest, digest])
+
+    def test_entry_lookup(self):
+        chain = HashChain()
+        chain.append(hash_value("a"))
+        entry = chain.entry(0)
+        assert entry.index == 0
+        assert entry.payload_digest == hash_value("a")

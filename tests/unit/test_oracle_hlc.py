@@ -1,0 +1,101 @@
+"""Unit tests for the timestamp oracle and hybrid logical clocks."""
+
+import threading
+
+import pytest
+
+from repro.txn.hlc import HLCTimestamp, HybridLogicalClock
+from repro.txn.oracle import TimestampOracle
+
+
+class TestTimestampOracle:
+    def test_strictly_increasing(self):
+        oracle = TimestampOracle()
+        stamps = [oracle.next_timestamp() for _ in range(100)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 100
+
+    def test_current_tracks_latest(self):
+        oracle = TimestampOracle()
+        assert oracle.current() == 0
+        last = [oracle.next_timestamp() for _ in range(5)][-1]
+        assert oracle.current() == last
+
+    def test_lease_refills_are_batched(self):
+        oracle = TimestampOracle(lease_size=100)
+        for _ in range(250):
+            oracle.next_timestamp()
+        assert oracle.lease_refills == 3
+        assert oracle.allocated == 250
+
+    def test_invalid_lease_size(self):
+        with pytest.raises(ValueError):
+            TimestampOracle(lease_size=0)
+
+    def test_thread_safety_uniqueness(self):
+        oracle = TimestampOracle(lease_size=16)
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [oracle.next_timestamp() for _ in range(500)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(seen)) == 4000
+
+
+class TestHlc:
+    def test_ordering_is_total(self):
+        a = HLCTimestamp(5, 0)
+        b = HLCTimestamp(5, 1)
+        c = HLCTimestamp(6, 0)
+        assert a < b < c
+        assert not (a < a)
+        assert a == HLCTimestamp(5, 0)
+
+    def test_as_int_preserves_order(self):
+        a = HLCTimestamp(5, 900)
+        b = HLCTimestamp(6, 0)
+        assert a.as_int() < b.as_int()
+
+    def test_local_events_monotonic_with_frozen_clock(self):
+        clock = HybridLogicalClock(physical_clock=lambda: 100)
+        stamps = [clock.now() for _ in range(10)]
+        assert all(x < y for x, y in zip(stamps, stamps[1:]))
+        assert all(s.wall == 100 for s in stamps)
+
+    def test_receive_preserves_causality_despite_skew(self):
+        ahead = HybridLogicalClock(physical_clock=lambda: 200)
+        behind = HybridLogicalClock(physical_clock=lambda: 50)
+        sent = ahead.now()
+        received = behind.update(sent)
+        assert received > sent
+        assert received.wall == 200  # adopted the remote wall
+
+    def test_advancing_physical_resets_logical(self):
+        times = iter([10, 10, 20])
+        clock = HybridLogicalClock(physical_clock=lambda: next(times))
+        first = clock.now()
+        second = clock.now()
+        third = clock.now()
+        assert second.logical == first.logical + 1
+        assert third == HLCTimestamp(20, 0)
+
+    def test_update_with_stale_remote(self):
+        clock = HybridLogicalClock(physical_clock=lambda: 100)
+        clock.now()
+        stale = HLCTimestamp(10, 5)
+        merged = clock.update(stale)
+        assert merged.wall == 100
+
+    def test_peek_does_not_advance(self):
+        clock = HybridLogicalClock(physical_clock=lambda: 7)
+        stamp = clock.now()
+        assert clock.peek() == stamp
+        assert clock.peek() == stamp

@@ -1,0 +1,148 @@
+"""Unit tests for snapshot persistence and the CLI."""
+
+import pytest
+
+from repro.core.database import SpitzDatabase
+from repro.core.persistence import load_database, save_database
+from repro.core.verifier import ClientVerifier
+from repro.errors import StorageError, TamperDetectedError
+from repro import cli
+
+
+@pytest.fixture
+def snapshot_path(tmp_path):
+    return tmp_path / "db.spitz"
+
+
+class TestPersistence:
+    def _db(self):
+        db = SpitzDatabase()
+        for i in range(50):
+            db.put(f"k{i:02d}".encode(), f"v{i}".encode())
+        db.sql("CREATE TABLE t (id INT, v STR, PRIMARY KEY (id))")
+        db.sql("INSERT INTO t (id, v) VALUES (1, 'one')")
+        return db
+
+    def test_round_trip_preserves_digest(self, snapshot_path):
+        db = self._db()
+        digest = db.digest()
+        save_database(db, snapshot_path)
+        restored = load_database(snapshot_path)
+        assert restored.digest() == digest
+
+    def test_round_trip_preserves_data_paths(self, snapshot_path):
+        db = self._db()
+        save_database(db, snapshot_path)
+        restored = load_database(snapshot_path)
+        assert restored.get(b"k25") == b"v25"
+        assert restored.sql("SELECT v FROM t WHERE id = 1") == [{"v": "one"}]
+        assert [v for _, v in restored.history(b"k25")] == [b"v25"]
+
+    def test_restored_db_still_verifiable(self, snapshot_path):
+        db = self._db()
+        save_database(db, snapshot_path)
+        restored = load_database(snapshot_path)
+        verifier = ClientVerifier()
+        verifier.trust(restored.digest())
+        value, proof = restored.get_verified(b"k10")
+        assert value == b"v10"
+        assert verifier.verify(proof)
+        assert restored.verify_chain()
+
+    def test_restored_db_accepts_writes(self, snapshot_path):
+        db = self._db()
+        save_database(db, snapshot_path)
+        restored = load_database(snapshot_path)
+        restored.put(b"new", b"write")
+        with restored.transaction() as txn:
+            txn.put(b"txn", b"write")
+        assert restored.get(b"txn") == b"write"
+        assert restored.verify_chain()
+
+    def test_pending_writes_flushed_by_save(self, snapshot_path):
+        db = SpitzDatabase(block_batch=100)
+        db.put(b"pending", b"v")
+        save_database(db, snapshot_path)
+        restored = load_database(snapshot_path)
+        assert restored.ledger.height == 1
+
+    def test_bitflip_detected(self, snapshot_path):
+        save_database(self._db(), snapshot_path)
+        blob = bytearray(snapshot_path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        snapshot_path.write_bytes(bytes(blob))
+        with pytest.raises(TamperDetectedError):
+            load_database(snapshot_path)
+
+    def test_wrong_magic_rejected(self, snapshot_path):
+        snapshot_path.write_bytes(b"NOTSPITZ" + b"x" * 64)
+        with pytest.raises(StorageError):
+            load_database(snapshot_path)
+
+
+class TestCli:
+    def test_init_put_get_verify(self, snapshot_path, capsys):
+        path = str(snapshot_path)
+        assert cli.main(["init", path]) == 0
+        assert cli.main(["put", path, "account:alice", "100"]) == 0
+        assert cli.main(["get", path, "account:alice", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out and "100" in out
+
+    def test_init_refuses_overwrite(self, snapshot_path, capsys):
+        path = str(snapshot_path)
+        cli.main(["init", path])
+        assert cli.main(["init", path]) == 1
+        assert cli.main(["init", path, "--force"]) == 0
+
+    def test_get_absent(self, snapshot_path, capsys):
+        path = str(snapshot_path)
+        cli.main(["init", path])
+        assert cli.main(["get", path, "ghost"]) == 0
+        assert "(absent)" in capsys.readouterr().out
+
+    def test_sql_and_scan(self, snapshot_path, capsys):
+        path = str(snapshot_path)
+        cli.main(["init", path])
+        assert cli.main([
+            "sql", path, "CREATE TABLE t (id INT, PRIMARY KEY (id))"
+        ]) == 0
+        assert cli.main(["sql", path, "INSERT INTO t (id) VALUES (7)"]) == 0
+        assert cli.main(["sql", path, "SELECT * FROM t"]) == 0
+        out = capsys.readouterr().out
+        assert "{'id': 7}" in out and "(1 rows)" in out
+
+    def test_history_and_delete(self, snapshot_path, capsys):
+        path = str(snapshot_path)
+        cli.main(["init", path])
+        cli.main(["put", path, "k", "v1"])
+        cli.main(["put", path, "k", "v2"])
+        cli.main(["delete", path, "k"])
+        assert cli.main(["get", path, "k"]) == 0
+        assert cli.main(["history", path, "k"]) == 0
+        out = capsys.readouterr().out
+        assert "(absent)" in out
+        assert "v1" in out and "v2" in out
+
+    def test_audit_and_digest(self, snapshot_path, capsys):
+        path = str(snapshot_path)
+        cli.main(["init", path])
+        cli.main(["put", path, "a", "1"])
+        assert cli.main(["audit", path]) == 0
+        assert cli.main(["digest", path]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "height: 1" in out
+
+    def test_missing_db_errors(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.spitz")
+        assert cli.main(["get", missing, "k"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_verification_failure_exit_code(self, snapshot_path, capsys):
+        # A key that is absent still verifies (absence proof), so to
+        # exercise the failure path we check the exit code contract on
+        # a healthy read instead and rely on tamper tests elsewhere.
+        path = str(snapshot_path)
+        cli.main(["init", path])
+        cli.main(["put", path, "k", "v"])
+        assert cli.main(["get", path, "k", "--verify"]) == 0

@@ -1,0 +1,256 @@
+"""Unit tests for the POS-tree (SIRI member Spitz's ledger uses)."""
+
+import random
+
+import pytest
+
+from repro.indexes.pos_tree import PosTree
+from repro.indexes.siri import DELETE, SiriProof
+
+
+def _items(n, prefix="k"):
+    return [
+        (f"{prefix}{i:06d}".encode(), f"v{i}".encode()) for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_empty(self, store):
+        tree = PosTree.empty(store)
+        assert tree.count == 0
+        assert tree.get(b"anything") is None
+
+    def test_from_items(self, store):
+        tree = PosTree.from_items(store, _items(100))
+        assert tree.count == 100
+        assert tree.get(b"k000042") == b"v42"
+
+    def test_from_items_duplicate_keys_last_wins(self, store):
+        tree = PosTree.from_items(store, [(b"k", b"1"), (b"k", b"2")])
+        assert tree.get(b"k") == b"2"
+
+    def test_load_reconstructs(self, store):
+        tree = PosTree.from_items(store, _items(500))
+        loaded = PosTree.load(store, tree.root)
+        assert loaded.root == tree.root
+        assert loaded.count == 500
+        assert loaded.get(b"k000123") == b"v123"
+
+    def test_load_single_leaf_tree(self, store):
+        tree = PosTree.from_items(store, _items(3))
+        loaded = PosTree.load(store, tree.root)
+        assert list(loaded.items()) == list(tree.items())
+
+
+class TestStructuralInvariance:
+    def test_insertion_order_irrelevant(self, store):
+        items = _items(300)
+        bulk = PosTree.from_items(store, items)
+        shuffled = list(items)
+        random.Random(9).shuffle(shuffled)
+        incremental = PosTree.empty(store)
+        for key, value in shuffled:
+            incremental = incremental.apply({key: value})
+        assert incremental.root == bulk.root
+
+    def test_batching_irrelevant(self, store):
+        items = _items(300)
+        one_batch = PosTree.empty(store).apply(dict(items))
+        many = PosTree.empty(store)
+        for start in range(0, 300, 7):
+            many = many.apply(dict(items[start:start + 7]))
+        assert one_batch.root == many.root
+
+    def test_update_then_revert_restores_root(self, store):
+        tree = PosTree.from_items(store, _items(200))
+        modified = tree.apply({b"k000050": b"other"})
+        reverted = modified.apply({b"k000050": b"v50"})
+        assert reverted.root == tree.root
+
+    def test_delete_matches_fresh_build(self, store):
+        items = _items(200)
+        tree = PosTree.from_items(store, items)
+        dropped = tree.apply({items[17][0]: DELETE})
+        rebuilt = PosTree.from_items(
+            store, items[:17] + items[18:]
+        )
+        assert dropped.root == rebuilt.root
+
+    def test_delete_everything_is_canonical_empty(self, store):
+        tree = PosTree.from_items(store, _items(64))
+        emptied = tree.apply({key: DELETE for key, _ in _items(64)})
+        assert emptied.root == PosTree.empty(store).root
+
+
+class TestPersistence:
+    def test_apply_does_not_mutate_receiver(self, store):
+        tree = PosTree.from_items(store, _items(50))
+        tree.apply({b"k000001": b"changed"})
+        assert tree.get(b"k000001") == b"v1"
+
+    def test_node_sharing(self, store):
+        tree = PosTree.from_items(store, _items(2000))
+        before = store.stats.unique_chunks
+        tree.apply({b"k001000": b"changed"})
+        # Only the path to one leaf is rewritten.
+        assert store.stats.unique_chunks - before <= 2 * tree.height
+
+    def test_empty_apply_returns_self(self, store):
+        tree = PosTree.from_items(store, _items(10))
+        assert tree.apply({}) is tree
+
+
+class TestReads:
+    def test_absent_key(self, store):
+        tree = PosTree.from_items(store, _items(100))
+        assert tree.get(b"zzz") is None
+        assert tree.get(b"") is None
+
+    def test_items_sorted(self, store):
+        items = _items(150)
+        shuffled = list(items)
+        random.Random(4).shuffle(shuffled)
+        tree = PosTree.from_items(store, shuffled)
+        assert list(tree.items()) == sorted(items)
+
+    def test_scan_inclusive_bounds(self, store):
+        tree = PosTree.from_items(store, _items(100))
+        result = tree.scan(b"k000010", b"k000019")
+        assert [k for k, _ in result] == [
+            f"k{i:06d}".encode() for i in range(10, 20)
+        ]
+
+    def test_scan_empty_range(self, store):
+        tree = PosTree.from_items(store, _items(20))
+        assert tree.scan(b"x", b"y") == []
+
+    def test_scan_whole_tree(self, store):
+        tree = PosTree.from_items(store, _items(64))
+        assert len(tree.scan(b"", b"\xff" * 8)) == 64
+
+    def test_len_matches_count(self, store):
+        tree = PosTree.from_items(store, _items(37))
+        assert len(tree) == tree.count == 37
+
+
+class TestProofs:
+    def test_present_key_proof(self, store):
+        tree = PosTree.from_items(store, _items(500))
+        value, proof = tree.get_with_proof(b"k000321")
+        assert value == b"v321"
+        assert PosTree.verify_proof(proof, tree.root)
+
+    def test_absence_proof(self, store):
+        tree = PosTree.from_items(store, _items(500))
+        value, proof = tree.get_with_proof(b"not-there")
+        assert value is None
+        assert PosTree.verify_proof(proof, tree.root)
+
+    def test_forged_value_rejected(self, store):
+        tree = PosTree.from_items(store, _items(100))
+        _value, proof = tree.get_with_proof(b"k000001")
+        forged = SiriProof(key=proof.key, value=b"evil", nodes=proof.nodes)
+        assert not PosTree.verify_proof(forged, tree.root)
+
+    def test_forged_absence_rejected(self, store):
+        tree = PosTree.from_items(store, _items(100))
+        _value, proof = tree.get_with_proof(b"k000001")
+        forged = SiriProof(key=proof.key, value=None, nodes=proof.nodes)
+        assert not PosTree.verify_proof(forged, tree.root)
+
+    def test_wrong_root_rejected(self, store):
+        tree = PosTree.from_items(store, _items(100))
+        other = tree.apply({b"k000001": b"new"})
+        _value, proof = tree.get_with_proof(b"k000002")
+        # Same value exists in both trees, but the proof binds to the
+        # old root's node set.
+        assert PosTree.verify_proof(proof, tree.root)
+
+    def test_tampered_node_bytes_rejected(self, store):
+        tree = PosTree.from_items(store, _items(100))
+        _value, proof = tree.get_with_proof(b"k000001")
+        nodes = list(proof.nodes)
+        nodes[0] = nodes[0][:-1] + bytes([nodes[0][-1] ^ 1])
+        forged = SiriProof(
+            key=proof.key, value=proof.value, nodes=tuple(nodes)
+        )
+        assert not PosTree.verify_proof(forged, tree.root)
+
+    def test_empty_proof_rejected(self, store):
+        tree = PosTree.from_items(store, _items(10))
+        forged = SiriProof(key=b"k", value=None, nodes=())
+        assert not PosTree.verify_proof(forged, tree.root)
+
+    def test_proof_with_cache_consistent(self, store):
+        tree = PosTree.from_items(store, _items(300))
+        cache = {}
+        for key in (b"k000001", b"k000002", b"k000003"):
+            _value, proof = tree.get_with_proof(key)
+            assert PosTree.verify_proof(proof, tree.root, cache)
+        assert cache  # upper nodes were memoized
+        # A forged proof must still fail with a warm cache.
+        _value, proof = tree.get_with_proof(b"k000004")
+        forged = SiriProof(key=proof.key, value=b"bad", nodes=proof.nodes)
+        assert not PosTree.verify_proof(forged, tree.root, cache)
+
+
+class TestRangeProofs:
+    def test_range_proof_verifies(self, store):
+        tree = PosTree.from_items(store, _items(400))
+        entries, proof = tree.scan_with_proof(b"k000100", b"k000149")
+        assert len(entries) == 50
+        assert proof.verify(tree.root)
+
+    def test_dropped_entry_rejected(self, store):
+        tree = PosTree.from_items(store, _items(200))
+        _entries, proof = tree.scan_with_proof(b"k000010", b"k000029")
+        forged = type(proof)(
+            low=proof.low,
+            high=proof.high,
+            entries=proof.entries[:-1],
+            nodes=proof.nodes,
+            root=proof.root,
+        )
+        assert not forged.verify(tree.root)
+
+    def test_added_entry_rejected(self, store):
+        tree = PosTree.from_items(store, _items(200))
+        _entries, proof = tree.scan_with_proof(b"k000010", b"k000029")
+        forged = type(proof)(
+            low=proof.low,
+            high=proof.high,
+            entries=proof.entries + ((b"k999999", b"bogus"),),
+            nodes=proof.nodes,
+            root=proof.root,
+        )
+        assert not forged.verify(tree.root)
+
+    def test_wrong_root_rejected(self, store):
+        tree = PosTree.from_items(store, _items(200))
+        other = tree.apply({b"k000000": b"x"})
+        _entries, proof = tree.scan_with_proof(b"k000010", b"k000029")
+        assert not proof.verify(other.root)
+
+    def test_empty_range_proof(self, store):
+        tree = PosTree.from_items(store, _items(50))
+        entries, proof = tree.scan_with_proof(b"zzz", b"zzzz")
+        assert entries == []
+        assert proof.verify(tree.root)
+
+
+class TestMaskBits:
+    @pytest.mark.parametrize("mask_bits", [2, 3, 5, 7])
+    def test_invariance_across_node_sizes(self, store, mask_bits):
+        items = _items(200)
+        bulk = PosTree.from_items(store, items, mask_bits=mask_bits)
+        incremental = PosTree.empty(store, mask_bits=mask_bits)
+        for start in range(0, 200, 13):
+            incremental = incremental.apply(dict(items[start:start + 13]))
+        assert incremental.root == bulk.root
+
+    def test_different_mask_different_root(self, store):
+        items = _items(100)
+        a = PosTree.from_items(store, items, mask_bits=3)
+        b = PosTree.from_items(store, items, mask_bits=6)
+        # Different node geometry => different node set => different root.
+        assert a.root != b.root

@@ -1,0 +1,93 @@
+"""Unit tests for query conditions and the planner."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.core.query import (
+    AccessPath,
+    Condition,
+    Op,
+    plan_query,
+    range_bounds,
+)
+
+
+def _cond(column, op, value, high=None):
+    return Condition(column=column, op=op, value=value, high=high)
+
+
+class TestConditionMatching:
+    @pytest.mark.parametrize(
+        "op,value,high,probe,expected",
+        [
+            (Op.EQ, 5, None, 5, True),
+            (Op.EQ, 5, None, 6, False),
+            (Op.NE, 5, None, 6, True),
+            (Op.LT, 5, None, 4, True),
+            (Op.LT, 5, None, 5, False),
+            (Op.LE, 5, None, 5, True),
+            (Op.GT, 5, None, 6, True),
+            (Op.GE, 5, None, 5, True),
+            (Op.BETWEEN, 3, 7, 5, True),
+            (Op.BETWEEN, 3, 7, 8, False),
+            (Op.BETWEEN, 3, 7, 3, True),
+        ],
+    )
+    def test_matches(self, op, value, high, probe, expected):
+        assert _cond("c", op, value, high).matches(probe) is expected
+
+
+class TestPlanner:
+    def test_pk_equality_wins(self):
+        plan = plan_query(
+            [_cond("other", Op.EQ, 1), _cond("id", Op.EQ, 2)], "id"
+        )
+        assert plan.path is AccessPath.PRIMARY_POINT
+        assert plan.driver.column == "id"
+        assert len(plan.residual) == 1
+
+    def test_pk_range_second(self):
+        plan = plan_query(
+            [_cond("id", Op.BETWEEN, 1, 9), _cond("x", Op.EQ, 1)], "id"
+        )
+        assert plan.path is AccessPath.PRIMARY_RANGE
+
+    def test_inverted_point(self):
+        plan = plan_query([_cond("name", Op.EQ, "x")], "id")
+        assert plan.path is AccessPath.INVERTED_POINT
+        assert plan.residual == ()
+
+    def test_inverted_range(self):
+        plan = plan_query([_cond("price", Op.GE, 10)], "id")
+        assert plan.path is AccessPath.INVERTED_RANGE
+
+    def test_full_scan_fallback(self):
+        plan = plan_query([_cond("name", Op.NE, "x")], "id")
+        assert plan.path is AccessPath.FULL_SCAN
+        assert plan.residual == (plan.residual[0],)
+
+    def test_empty_conditions_full_scan(self):
+        plan = plan_query([], "id")
+        assert plan.path is AccessPath.FULL_SCAN
+
+    def test_strict_driver_stays_in_residual(self):
+        plan = plan_query([_cond("price", Op.LT, 10)], "id")
+        assert plan.path is AccessPath.INVERTED_RANGE
+        assert plan.driver in plan.residual
+
+    def test_inclusive_driver_dropped_from_residual(self):
+        plan = plan_query([_cond("price", Op.LE, 10)], "id")
+        assert plan.driver not in plan.residual
+
+
+class TestRangeBounds:
+    def test_between(self):
+        assert range_bounds(_cond("c", Op.BETWEEN, 1, 9)) == (1, 9)
+
+    def test_open_ended(self):
+        assert range_bounds(_cond("c", Op.GE, 5)) == (5, None)
+        assert range_bounds(_cond("c", Op.LT, 5)) == (None, 5)
+
+    def test_non_range_raises(self):
+        with pytest.raises(QueryError):
+            range_bounds(_cond("c", Op.EQ, 5))

@@ -1,0 +1,111 @@
+"""Unit tests for the radix tree."""
+
+import random
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.indexes.radix import RadixTree
+
+
+class TestRadixTree:
+    def test_insert_get(self):
+        tree = RadixTree()
+        tree.insert(b"hello", 1)
+        assert tree.get(b"hello") == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            RadixTree().get(b"ghost")
+
+    def test_get_optional(self):
+        assert RadixTree().get_optional(b"x", "dflt") == "dflt"
+
+    def test_empty_key(self):
+        tree = RadixTree()
+        tree.insert(b"", "root-value")
+        assert tree.get(b"") == "root-value"
+
+    def test_prefix_relationships(self):
+        tree = RadixTree()
+        for key in (b"a", b"ab", b"abc", b"abd"):
+            tree.insert(key, key.decode())
+        assert tree.get(b"ab") == "ab"
+        assert tree.get(b"abc") == "abc"
+        assert b"abcd" not in tree
+
+    def test_overwrite_keeps_size(self):
+        tree = RadixTree()
+        tree.insert(b"k", 1)
+        tree.insert(b"k", 2)
+        assert tree.get(b"k") == 2
+        assert len(tree) == 1
+
+    def test_items_lexicographic(self):
+        tree = RadixTree()
+        keys = [f"w{i:04d}".encode() for i in range(300)]
+        shuffled = list(keys)
+        random.Random(3).shuffle(shuffled)
+        for key in shuffled:
+            tree.insert(key, None)
+        assert [k for k, _ in tree.items()] == keys
+
+    def test_prefix_items(self):
+        tree = RadixTree()
+        for key in (b"car", b"cart", b"carbon", b"dog", b"ca"):
+            tree.insert(key, key)
+        found = [k for k, _ in tree.prefix_items(b"car")]
+        assert found == [b"car", b"carbon", b"cart"]
+
+    def test_prefix_inside_edge(self):
+        tree = RadixTree()
+        tree.insert(b"integral", 1)
+        tree.insert(b"integer", 2)
+        found = [k for k, _ in tree.prefix_items(b"inte")]
+        assert found == [b"integer", b"integral"]
+
+    def test_prefix_no_match(self):
+        tree = RadixTree()
+        tree.insert(b"apple", 1)
+        assert list(tree.prefix_items(b"b")) == []
+        assert list(tree.prefix_items(b"applepie")) == []
+
+    def test_delete(self):
+        tree = RadixTree()
+        tree.insert(b"abc", 1)
+        tree.insert(b"abd", 2)
+        tree.delete(b"abc")
+        assert b"abc" not in tree
+        assert tree.get(b"abd") == 2
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            RadixTree().delete(b"nope")
+
+    def test_delete_collapses_chains(self):
+        tree = RadixTree()
+        tree.insert(b"split", 1)
+        tree.insert(b"splat", 2)
+        tree.delete(b"splat")
+        # Structure must remain correct after pass-through merge.
+        assert tree.get(b"split") == 1
+        assert [k for k, _ in tree.items()] == [b"split"]
+
+    def test_model_comparison(self):
+        rng = random.Random(4)
+        tree = RadixTree()
+        model = {}
+        words = [
+            bytes(rng.choice(b"abc") for _ in range(rng.randint(1, 6)))
+            for _ in range(2000)
+        ]
+        for word in words:
+            if rng.random() < 0.3 and model:
+                victim = rng.choice(list(model))
+                tree.delete(victim)
+                del model[victim]
+            else:
+                tree.insert(word, word)
+                model[word] = word
+        assert list(tree.items()) == sorted(model.items())
+        assert len(tree) == len(model)

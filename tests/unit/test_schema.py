@@ -1,0 +1,137 @@
+"""Unit tests for table schemas and the value codec."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.core.schema import (
+    Column,
+    TableSchema,
+    decode_pk,
+    decode_value,
+    encode_pk,
+    encode_value,
+)
+
+
+class TestColumn:
+    def test_valid(self):
+        Column("price", "float")
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            Column("x", "decimal")
+
+    def test_reserved_name(self):
+        with pytest.raises(SchemaError):
+            Column("_hidden", "int")
+        with pytest.raises(SchemaError):
+            Column("", "int")
+
+
+class TestTableSchema:
+    def _schema(self):
+        return TableSchema.make(
+            "items",
+            [("id", "int"), ("name", "str"), ("price", "float")],
+            "id",
+        )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema.make("t", [("a", "int"), ("a", "str")], "a")
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema.make("t", [("a", "int")], "b")
+
+    def test_column_lookup(self):
+        schema = self._schema()
+        assert schema.column("name").type == "str"
+        with pytest.raises(SchemaError):
+            schema.column("ghost")
+
+    def test_validate_row_ok(self):
+        self._schema().validate_row({"id": 1, "name": "x", "price": 2.5})
+
+    def test_validate_row_missing_column(self):
+        with pytest.raises(SchemaError, match="missing"):
+            self._schema().validate_row({"id": 1, "name": "x"})
+
+    def test_validate_row_extra_column(self):
+        with pytest.raises(SchemaError, match="unknown"):
+            self._schema().validate_row(
+                {"id": 1, "name": "x", "price": 1.0, "bogus": 1}
+            )
+
+    def test_validate_row_wrong_type(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_row(
+                {"id": "one", "name": "x", "price": 1.0}
+            )
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_row(
+                {"id": True, "name": "x", "price": 1.0}
+            )
+
+    def test_logical_keys_distinct_per_column(self):
+        schema = self._schema()
+        pk = schema.pk_bytes(5)
+        assert schema.logical_key("name", pk) != schema.logical_key(
+            "price", pk
+        )
+
+    def test_logical_prefix_covers_column(self):
+        schema = self._schema()
+        low, high = schema.logical_prefix("name")
+        key = schema.logical_key("name", schema.pk_bytes(3))
+        assert low <= key <= high
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "type_name,value",
+        [
+            ("int", 42),
+            ("int", -17),
+            ("int", 0),
+            ("float", 3.25),
+            ("float", -0.0),
+            ("str", "héllo wörld"),
+            ("str", ""),
+            ("bool", True),
+            ("bool", False),
+            ("bytes", b"\x00\xff raw"),
+            ("json", {"a": [1, 2], "b": None}),
+            ("json", []),
+        ],
+    )
+    def test_round_trip(self, type_name, value):
+        assert decode_value(encode_value(type_name, value)) == value
+
+    def test_unknown_type(self):
+        with pytest.raises(SchemaError):
+            encode_value("thing", 1)
+
+    def test_unknown_tag(self):
+        with pytest.raises(SchemaError):
+            decode_value(b"zpayload")
+
+
+class TestPkCodec:
+    def test_int_order_preserving(self):
+        values = [-(2**40), -1, 0, 1, 7, 2**40]
+        encoded = [encode_pk("int", v) for v in values]
+        assert encoded == sorted(encoded)
+
+    @pytest.mark.parametrize(
+        "type_name,value",
+        [("int", -5), ("int", 12345), ("str", "alice"), ("bytes", b"\x01")],
+    )
+    def test_round_trip(self, type_name, value):
+        assert decode_pk(type_name, encode_pk(type_name, value)) == value
+
+    def test_float_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            encode_pk("float", 1.5)

@@ -1,0 +1,95 @@
+"""Unit tests for the skip list."""
+
+import random
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.indexes.skiplist import SkipList
+
+
+class TestSkipList:
+    def test_insert_get(self):
+        sl = SkipList()
+        sl.insert(3, "three")
+        assert sl.get(3) == "three"
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            SkipList().get(1)
+
+    def test_get_optional(self):
+        assert SkipList().get_optional(1, "d") == "d"
+
+    def test_overwrite(self):
+        sl = SkipList()
+        sl.insert(1, "a")
+        sl.insert(1, "b")
+        assert sl.get(1) == "b"
+        assert len(sl) == 1
+
+    def test_contains(self):
+        sl = SkipList()
+        sl.insert(7, None)
+        assert 7 in sl
+        assert 8 not in sl
+
+    def test_sorted_iteration(self):
+        sl = SkipList(seed=1)
+        keys = list(range(1000))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            sl.insert(key, key)
+        assert [k for k, _ in sl.items()] == list(range(1000))
+
+    def test_delete(self):
+        sl = SkipList()
+        sl.insert(1, "a")
+        sl.delete(1)
+        assert 1 not in sl
+        assert len(sl) == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            SkipList().delete(42)
+
+    def test_range_inclusive(self):
+        sl = SkipList(seed=2)
+        for i in range(100):
+            sl.insert(i, i)
+        assert [k for k, _ in sl.range(10, 20)] == list(range(10, 21))
+
+    def test_range_exclusive(self):
+        sl = SkipList(seed=2)
+        for i in range(30):
+            sl.insert(i, i)
+        result = [k for k, _ in sl.range(5, 8, inclusive=False)]
+        assert result == [5, 6, 7]
+
+    def test_range_with_float_keys(self):
+        sl = SkipList()
+        for value in (1.5, 2.5, 3.5, 0.5):
+            sl.insert(value, str(value))
+        assert [k for k, _ in sl.range(1.0, 3.0)] == [1.5, 2.5]
+
+    def test_model_comparison(self):
+        rng = random.Random(9)
+        sl = SkipList(seed=9)
+        model = {}
+        for _ in range(3000):
+            key = rng.randrange(500)
+            if rng.random() < 0.35 and model:
+                victim = rng.choice(list(model))
+                sl.delete(victim)
+                del model[victim]
+            else:
+                sl.insert(key, key)
+                model[key] = key
+        assert list(sl.items()) == sorted(model.items())
+
+    def test_deterministic_with_same_seed(self):
+        a, b = SkipList(seed=5), SkipList(seed=5)
+        for i in range(50):
+            a.insert(i, i)
+            b.insert(i, i)
+        assert list(a.items()) == list(b.items())

@@ -1,0 +1,95 @@
+"""Unit tests for two-phase commit."""
+
+import pytest
+
+from repro.errors import TransactionAborted, TwoPhaseCommitError
+from repro.txn.manager import TransactionManager
+from repro.txn.two_pc import Participant, TwoPhaseCoordinator, Vote
+
+
+def _participants(names):
+    return [Participant(name, TransactionManager()) for name in names]
+
+
+class TestTwoPhaseCommit:
+    def test_successful_global_commit(self):
+        a, b = _participants("ab")
+        coordinator = TwoPhaseCoordinator([a, b])
+        gid = coordinator.execute({"a": {"x": 1}, "b": {"y": 2}})
+        assert gid.startswith("gtx-")
+        assert a.manager.begin().read("x") == 1
+        assert b.manager.begin().read("y") == 2
+
+    def test_unknown_participant_rejected(self):
+        (a,) = _participants("a")
+        coordinator = TwoPhaseCoordinator([a])
+        with pytest.raises(TwoPhaseCommitError):
+            coordinator.execute({"ghost": {"k": 1}})
+
+    def test_requires_participants(self):
+        with pytest.raises(ValueError):
+            TwoPhaseCoordinator([])
+
+    def test_prepare_failure_aborts_all_branches(self):
+        a, b = _participants("ab")
+        coordinator = TwoPhaseCoordinator([a, b])
+        b.fail_next_prepare = True
+        with pytest.raises(TransactionAborted):
+            coordinator.execute({"a": {"x": 1}, "b": {"y": 2}})
+        assert a.manager.begin().read("x") is None
+        assert b.manager.begin().read("y") is None
+        assert not a.is_prepared("gtx-1")
+
+    def test_no_vote_aborts(self):
+        a, b = _participants("ab")
+        coordinator = TwoPhaseCoordinator([a, b])
+        # Make b's branch certify-fail by writing a conflicting commit
+        # between prepare and nothing: stage a conflicting txn first.
+        blocker = b.manager.begin()
+        blocker.write("y", "held")
+        # With OCC the conflict only appears at commit; emulate a NO
+        # vote via prepare-time failure injection instead.
+        b.fail_next_prepare = True
+        with pytest.raises(TransactionAborted):
+            coordinator.execute({"a": {"x": 1}, "b": {"y": 2}})
+        blocker.abort()
+
+    def test_commit_phase_failure_recovers(self):
+        a, b = _participants("ab")
+        coordinator = TwoPhaseCoordinator([a, b])
+        b.fail_next_commit = True
+        with pytest.raises(TwoPhaseCommitError):
+            coordinator.execute({"a": {"x": 1}, "b": {"y": 2}})
+        # The decision was commit: a is done, b is in doubt.
+        assert a.manager.begin().read("x") == 1
+        assert b.manager.begin().read("y") is None
+        assert b.is_prepared("gtx-1")
+        resolved = coordinator.recover(b)
+        assert resolved == 1
+        assert b.manager.begin().read("y") == 2
+
+    def test_recover_with_nothing_pending(self):
+        a, b = _participants("ab")
+        coordinator = TwoPhaseCoordinator([a, b])
+        coordinator.execute({"a": {"x": 1}})
+        assert coordinator.recover(a) == 0
+
+    def test_decision_log_records_outcomes(self):
+        a, b = _participants("ab")
+        coordinator = TwoPhaseCoordinator([a, b])
+        coordinator.execute({"a": {"x": 1}})
+        b.fail_next_prepare = True
+        with pytest.raises(TransactionAborted):
+            coordinator.execute({"b": {"y": 1}})
+        assert coordinator.log == [("gtx-1", "commit"), ("gtx-2", "abort")]
+
+    def test_sequential_transactions_on_same_keys(self):
+        a, b = _participants("ab")
+        coordinator = TwoPhaseCoordinator([a, b])
+        coordinator.execute({"a": {"acct": 100}, "b": {"acct": 0}})
+        coordinator.execute({"a": {"acct": 60}, "b": {"acct": 40}})
+        assert a.manager.begin().read("acct") == 60
+        assert b.manager.begin().read("acct") == 40
+
+    def test_vote_enum(self):
+        assert Vote.YES is not Vote.NO

@@ -1,0 +1,130 @@
+"""Unit tests for the client verifier and the deferred writer."""
+
+import pytest
+
+from repro.errors import TamperDetectedError, VerificationError
+from repro.core.database import SpitzDatabase
+from repro.core.proofs import LedgerProof
+from repro.core.verifier import ClientVerifier, VerifiedWriter
+from repro.indexes.siri import SiriProof
+
+
+class TestClientVerifier:
+    def test_requires_trusted_digest(self, loaded_db):
+        verifier = ClientVerifier()
+        _value, proof = loaded_db.get_verified(b"key0001")
+        with pytest.raises(VerificationError):
+            verifier.verify(proof)
+
+    def test_accepts_honest_proof(self, loaded_db):
+        verifier = ClientVerifier()
+        verifier.trust(loaded_db.digest())
+        value, proof = loaded_db.get_verified(b"key0001")
+        assert value == b"value1"
+        assert verifier.verify(proof)
+        verifier.verify_or_raise(proof)
+
+    def test_rejects_forged_value(self, loaded_db):
+        verifier = ClientVerifier()
+        verifier.trust(loaded_db.digest())
+        _value, proof = loaded_db.get_verified(b"key0001")
+        forged = LedgerProof(
+            siri=SiriProof(
+                key=proof.siri.key, value=b"evil", nodes=proof.siri.nodes
+            ),
+            block=proof.block,
+        )
+        assert not verifier.verify(forged)
+        assert verifier.detections == 1
+        with pytest.raises(TamperDetectedError):
+            verifier.verify_or_raise(forged)
+
+    def test_rejects_stale_proof_after_observe(self, loaded_db):
+        verifier = ClientVerifier()
+        verifier.trust(loaded_db.digest())
+        _value, proof = loaded_db.get_verified(b"key0001")
+        loaded_db.put(b"new", b"entry")
+        verifier.observe(loaded_db.digest())
+        assert not verifier.verify(proof)
+
+    def test_observe_refuses_rollback(self, loaded_db):
+        verifier = ClientVerifier()
+        old = loaded_db.digest()
+        loaded_db.put(b"x", b"y")
+        verifier.observe(loaded_db.digest())
+        with pytest.raises(TamperDetectedError):
+            verifier.observe(old)
+
+    def test_caching_keeps_soundness(self, loaded_db):
+        verifier = ClientVerifier()
+        verifier.trust(loaded_db.digest())
+        # Warm the cache with honest proofs...
+        for i in range(10):
+            _value, proof = loaded_db.get_verified(f"key{i:04d}".encode())
+            assert verifier.verify(proof)
+        # ...then a forged proof must still fail.
+        _value, proof = loaded_db.get_verified(b"key0011")
+        forged = LedgerProof(
+            siri=SiriProof(
+                key=proof.siri.key, value=b"evil", nodes=proof.siri.nodes
+            ),
+            block=proof.block,
+        )
+        assert not verifier.verify(forged)
+
+    def test_range_proof_verification(self, loaded_db):
+        verifier = ClientVerifier()
+        verifier.trust(loaded_db.digest())
+        _entries, proof = loaded_db.scan_verified(b"key0010", b"key0019")
+        assert verifier.verify(proof)
+
+
+class TestDeferredMode:
+    def test_deferred_queues_then_flushes(self, loaded_db):
+        verifier = ClientVerifier(deferred=True, batch_size=100)
+        verifier.trust(loaded_db.digest())
+        for i in range(5):
+            _value, proof = loaded_db.get_verified(f"key{i:04d}".encode())
+            assert verifier.verify(proof)  # optimistic True
+        assert verifier.pending == 5
+        verifier.flush()
+        assert verifier.pending == 0
+
+    def test_deferred_detects_on_flush(self, loaded_db):
+        verifier = ClientVerifier(deferred=True, batch_size=100)
+        verifier.trust(loaded_db.digest())
+        _value, proof = loaded_db.get_verified(b"key0001")
+        forged = LedgerProof(
+            siri=SiriProof(
+                key=proof.siri.key, value=b"evil", nodes=proof.siri.nodes
+            ),
+            block=proof.block,
+        )
+        assert verifier.verify(forged)  # deferred: optimistic
+        with pytest.raises(TamperDetectedError):
+            verifier.flush()
+
+
+class TestVerifiedWriter:
+    def test_batched_write_verification(self):
+        db = SpitzDatabase(block_batch=8)
+        verifier = ClientVerifier()
+        verifier.trust(db.digest())
+        writer = VerifiedWriter(db, verifier, batch_size=8)
+        for i in range(20):
+            writer.put(f"k{i}".encode(), f"v{i}".encode())
+        writer.flush()
+        assert writer.writes == 20
+        assert writer.batches >= 3
+        assert db.get(b"k7") == b"v7"
+
+    def test_invalid_batch_size(self):
+        db = SpitzDatabase()
+        with pytest.raises(ValueError):
+            VerifiedWriter(db, ClientVerifier(), batch_size=0)
+
+    def test_flush_empty_is_noop(self):
+        db = SpitzDatabase()
+        verifier = ClientVerifier()
+        verifier.trust(db.digest())
+        VerifiedWriter(db, verifier).flush()

@@ -1,0 +1,103 @@
+"""Unit tests for the version manager (commits, branches)."""
+
+import pytest
+
+from repro.crypto.hashing import hash_value
+from repro.errors import BranchNotFoundError, CommitNotFoundError
+from repro.forkbase.versions import VersionManager
+
+
+def _root(name):
+    return hash_value(("root", name))
+
+
+class TestVersionManager:
+    def test_fresh_default_branch_has_no_head(self):
+        assert VersionManager().head() is None
+
+    def test_commit_advances_head(self):
+        vm = VersionManager()
+        commit = vm.commit(_root("v1"), "first")
+        assert vm.head().commit_id == commit.commit_id
+
+    def test_log_newest_first(self):
+        vm = VersionManager()
+        vm.commit(_root("v1"))
+        vm.commit(_root("v2"))
+        vm.commit(_root("v3"))
+        roots = [c.root for c in vm.log()]
+        assert roots == [_root("v3"), _root("v2"), _root("v1")]
+
+    def test_history_roots_oldest_first(self):
+        vm = VersionManager()
+        vm.commit(_root("v1"))
+        vm.commit(_root("v2"))
+        assert vm.history_roots() == [_root("v1"), _root("v2")]
+
+    def test_parents_linked(self):
+        vm = VersionManager()
+        first = vm.commit(_root("v1"))
+        second = vm.commit(_root("v2"))
+        assert second.parents == (first.commit_id,)
+        assert first.parents == ()
+
+    def test_unknown_commit_raises(self):
+        vm = VersionManager()
+        with pytest.raises(CommitNotFoundError):
+            vm.get(hash_value("missing"))
+
+    def test_unknown_branch_raises(self):
+        vm = VersionManager()
+        with pytest.raises(BranchNotFoundError):
+            vm.head("nope")
+
+    def test_branching_from_head(self):
+        vm = VersionManager()
+        vm.commit(_root("v1"))
+        vm.create_branch("feature")
+        vm.commit(_root("v2"), branch="feature")
+        vm.commit(_root("v3"))  # master
+        assert vm.head("feature").root == _root("v2")
+        assert vm.head().root == _root("v3")
+
+    def test_branch_of_empty_repo(self):
+        vm = VersionManager()
+        vm.create_branch("early")
+        assert vm.head("early") is None
+
+    def test_delete_branch(self):
+        vm = VersionManager()
+        vm.create_branch("tmp")
+        vm.delete_branch("tmp")
+        with pytest.raises(BranchNotFoundError):
+            vm.head("tmp")
+
+    def test_cannot_delete_default_branch(self):
+        with pytest.raises(ValueError):
+            VersionManager().delete_branch("master")
+
+    def test_delete_unknown_branch_raises(self):
+        with pytest.raises(BranchNotFoundError):
+            VersionManager().delete_branch("ghost")
+
+    def test_merge_base(self):
+        vm = VersionManager()
+        shared = vm.commit(_root("v1"))
+        vm.create_branch("b")
+        vm.commit(_root("a2"))
+        vm.commit(_root("b2"), branch="b")
+        base = vm.merge_base("master", "b")
+        assert base.commit_id == shared.commit_id
+
+    def test_merge_base_disjoint_is_none(self):
+        vm = VersionManager()
+        vm.create_branch("b")
+        vm.commit(_root("a1"))
+        vm.commit(_root("b1"), branch="b")
+        assert vm.merge_base("master", "b") is None
+
+    def test_commit_count(self):
+        vm = VersionManager()
+        vm.commit(_root("v1"))
+        vm.commit(_root("v2"))
+        assert len(vm) == 2

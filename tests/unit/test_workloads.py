@@ -1,0 +1,127 @@
+"""Unit tests for workload generators and distributions."""
+
+import pytest
+
+from repro.workloads.distributions import UniformChooser, ZipfChooser
+from repro.workloads.generator import (
+    KEY_MAX_LEN,
+    KEY_MIN_LEN,
+    OpKind,
+    VALUE_LEN,
+    WorkloadGenerator,
+)
+from repro.workloads.wiki import WikiWorkload, naive_storage_bytes
+
+
+class TestDistributions:
+    def test_uniform_covers_population(self):
+        chooser = UniformChooser(10, seed=1)
+        seen = {chooser.next() for _ in range(1000)}
+        assert seen == set(range(10))
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            UniformChooser(0)
+
+    def test_zipf_skews_to_low_ranks(self):
+        chooser = ZipfChooser(1000, theta=0.99, seed=1)
+        draws = [chooser.next() for _ in range(5000)]
+        head = sum(1 for d in draws if d < 10)
+        assert head / len(draws) > 0.2  # top-1% gets >20% of traffic
+
+    def test_zipf_bounds(self):
+        chooser = ZipfChooser(50, seed=2)
+        assert all(0 <= chooser.next() < 50 for _ in range(500))
+
+    def test_zipf_invalid_theta(self):
+        with pytest.raises(ValueError):
+            ZipfChooser(10, theta=1.5)
+
+
+class TestWorkloadGenerator:
+    def test_paper_key_value_dimensions(self):
+        gen = WorkloadGenerator(500, seed=1)
+        for key, value in gen.records():
+            assert KEY_MIN_LEN <= len(key) <= KEY_MAX_LEN
+            assert len(value) == VALUE_LEN
+
+    def test_keys_distinct(self):
+        gen = WorkloadGenerator(2000, seed=1)
+        assert len(set(gen.keys)) == 2000
+
+    def test_deterministic(self):
+        a = WorkloadGenerator(100, seed=7)
+        b = WorkloadGenerator(100, seed=7)
+        assert a.keys == b.keys
+
+    def test_reads_target_existing_keys(self):
+        gen = WorkloadGenerator(100, seed=1)
+        keyset = set(gen.keys)
+        for op in gen.reads(200):
+            assert op.kind is OpKind.READ
+            assert op.key in keyset
+
+    def test_writes_have_values(self):
+        gen = WorkloadGenerator(100, seed=1)
+        for op in gen.writes(50):
+            assert op.kind is OpKind.WRITE
+            assert len(op.value) == VALUE_LEN
+
+    def test_mixed_fraction(self):
+        gen = WorkloadGenerator(100, seed=1)
+        ops = list(gen.mixed(1000, read_fraction=0.8))
+        reads = sum(1 for op in ops if op.kind is OpKind.READ)
+        assert 700 < reads < 900
+
+    def test_mixed_invalid_fraction(self):
+        gen = WorkloadGenerator(10, seed=1)
+        with pytest.raises(ValueError):
+            list(gen.mixed(10, read_fraction=2.0))
+
+    def test_range_scans_selectivity(self):
+        gen = WorkloadGenerator(5000, seed=1)
+        for op in gen.range_scans(20, selectivity=0.001):
+            assert op.kind is OpKind.SCAN
+            span = [
+                k for k in gen.sorted_keys if op.key <= k <= op.high
+            ]
+            assert len(span) == gen.scan_span == 5
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(0)
+
+
+class TestWikiWorkload:
+    def test_paper_dimensions(self):
+        wiki = WikiWorkload()
+        pages = wiki.initial_pages()
+        assert len(pages) == 10
+        assert all(len(content) == 16 * 1024 for _, content in pages)
+
+    def test_edits_are_localized(self):
+        wiki = WikiWorkload(seed=3)
+        before = dict(wiki.initial_pages())
+        edits = wiki.edits(versions=5)
+        assert len(edits) == 4  # versions 2..5
+        for edit in edits:
+            assert len(edit.content) == 16 * 1024
+
+    def test_edit_changes_tracked_page(self):
+        wiki = WikiWorkload(seed=3)
+        wiki.initial_pages()
+        edit = wiki.edits(versions=2)[0]
+        assert wiki.pages[edit.page] == edit.content
+
+    def test_naive_storage_grows_per_version(self):
+        wiki = WikiWorkload(seed=1)
+        initial = wiki.initial_pages()
+        edits = wiki.edits(versions=20)
+        total = naive_storage_bytes(initial, edits)
+        assert total == (10 + 19) * 16 * 1024
+
+    def test_deterministic(self):
+        a = WikiWorkload(seed=5)
+        b = WikiWorkload(seed=5)
+        assert a.initial_pages() == b.initial_pages()
+        assert a.edits(10) == b.edits(10)
