@@ -1,18 +1,30 @@
 """Command-line interface.
 
-A small operational surface over a snapshot-persisted Spitz database::
+A small operational surface over a persisted Spitz database.  Two
+on-disk layouts are supported, chosen by what ``DB`` points at:
 
-    python -m repro.cli init mydb.spitz
-    python -m repro.cli put mydb.spitz account:alice 100
-    python -m repro.cli get mydb.spitz account:alice --verify
-    python -m repro.cli sql mydb.spitz "CREATE TABLE t (id INT, PRIMARY KEY (id))"
-    python -m repro.cli history mydb.spitz account:alice
-    python -m repro.cli audit mydb.spitz
-    python -m repro.cli digest mydb.spitz
+- **snapshot file** (legacy): every mutating command rewrites the
+  whole snapshot — ``python -m repro.cli init mydb.spitz``;
+- **durable directory** (WAL + checkpoints): mutations append one
+  fsynced record to a write-ahead log; opening runs crash recovery
+  (latest checkpoint + log replay + full chain audit) —
+  ``python -m repro.cli init mydb.d --durable``.
 
-Every mutating command rewrites the snapshot; ``audit`` replays the
-whole chain; ``get --verify`` checks the proof against the snapshot's
-own digest and prints both.
+::
+
+    python -m repro.cli init mydb.d --durable
+    python -m repro.cli put mydb.d account:alice 100
+    python -m repro.cli get mydb.d account:alice --verify
+    python -m repro.cli sql mydb.d "CREATE TABLE t (id INT, PRIMARY KEY (id))"
+    python -m repro.cli history mydb.d account:alice
+    python -m repro.cli checkpoint mydb.d
+    python -m repro.cli recover mydb.d
+    python -m repro.cli audit mydb.d
+    python -m repro.cli digest mydb.d
+
+Exit codes: 0 success, 1 operational error, 2 failed verification or
+audit findings, 3 **tamper detected** — scripted audits can tell "the
+data was modified at rest" apart from "the tool hit an error".
 """
 
 from __future__ import annotations
@@ -26,19 +38,66 @@ from repro.core.audit import audit_ledger
 from repro.core.database import SpitzDatabase
 from repro.core.persistence import load_database, save_database
 from repro.core.verifier import ClientVerifier
-from repro.errors import SpitzError
+from repro.durability import DurableDatabase, recover
+from repro.errors import SpitzError, TamperDetectedError
+
+#: Exit code for detected tampering (vs. 1 for operational errors).
+EXIT_TAMPERED = 3
 
 
-def _open(path: str) -> SpitzDatabase:
-    if not Path(path).exists():
-        raise SpitzError(
-            f"no database at {path}; run 'init {path}' first"
-        )
-    return load_database(path)
+class _Session:
+    """One opened database: durable directory or legacy snapshot file."""
+
+    def __init__(self, path: str):
+        self._path = path
+        target = Path(path)
+        if target.is_dir():
+            self.durable: Optional[DurableDatabase] = DurableDatabase.open(
+                path
+            )
+            self.db = self.durable.db
+        elif target.exists():
+            self.durable = None
+            self.db = load_database(path)
+        else:
+            raise SpitzError(
+                f"no database at {path}; run 'init {path}' first"
+            )
+
+    def commit(self) -> None:
+        """Make preceding mutations durable.
+
+        Durable mode already logged them (WAL, fsync-on-commit); the
+        legacy mode pays the snapshot rewrite here.
+        """
+        if self.durable is None:
+            save_database(self.db, self._path)
+
+    def close(self) -> None:
+        if self.durable is not None:
+            self.durable.close()
+
+    def __enter__(self) -> "_Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def cmd_init(args: argparse.Namespace) -> int:
-    if Path(args.db).exists() and not args.force:
+    target = Path(args.db)
+    if args.durable:
+        if target.exists() and not target.is_dir():
+            print(f"{args.db} exists and is not a directory")
+            return 1
+        if target.is_dir() and any(target.iterdir()) and not args.force:
+            print(f"refusing to reuse non-empty {args.db} (use --force)")
+            return 1
+        with DurableDatabase.open(args.db):
+            pass  # creates the directory and the first WAL segment
+        print(f"initialized durable database at {args.db}")
+        return 0
+    if target.exists() and not args.force:
         print(f"refusing to overwrite {args.db} (use --force)")
         return 1
     db = SpitzDatabase()
@@ -48,86 +107,112 @@ def cmd_init(args: argparse.Namespace) -> int:
 
 
 def cmd_put(args: argparse.Namespace) -> int:
-    db = _open(args.db)
-    block = db.put(args.key.encode(), args.value.encode())
-    save_database(db, args.db)
-    print(f"ok: sealed block #{block.height}")
+    with _Session(args.db) as session:
+        block = session.db.put(args.key.encode(), args.value.encode())
+        session.commit()
+        print(f"ok: sealed block #{block.height}")
     return 0
 
 
 def cmd_get(args: argparse.Namespace) -> int:
-    db = _open(args.db)
-    if args.verify:
-        value, proof = db.get_verified(args.key.encode())
-        verifier = ClientVerifier()
-        verifier.trust(db.digest())
-        ok = verifier.verify(proof)
-        state = "VERIFIED" if ok else "VERIFICATION FAILED"
-        rendered = value.decode(errors="replace") if value else "(absent)"
-        print(f"{rendered}  [{state}; {len(proof.siri.nodes)} proof nodes]")
-        return 0 if ok else 2
-    value = db.get(args.key.encode())
-    print(value.decode(errors="replace") if value else "(absent)")
+    with _Session(args.db) as session:
+        db = session.db
+        if args.verify:
+            value, proof = db.get_verified(args.key.encode())
+            verifier = ClientVerifier()
+            verifier.trust(db.digest())
+            ok = verifier.verify(proof)
+            state = "VERIFIED" if ok else "VERIFICATION FAILED"
+            rendered = value.decode(errors="replace") if value else "(absent)"
+            print(f"{rendered}  [{state}; {len(proof.siri.nodes)} proof nodes]")
+            return 0 if ok else 2
+        value = db.get(args.key.encode())
+        print(value.decode(errors="replace") if value else "(absent)")
     return 0
 
 
 def cmd_delete(args: argparse.Namespace) -> int:
-    db = _open(args.db)
-    block = db.delete(args.key.encode())
-    save_database(db, args.db)
-    print(f"ok: sealed block #{block.height}")
+    with _Session(args.db) as session:
+        block = session.db.delete(args.key.encode())
+        session.commit()
+        print(f"ok: sealed block #{block.height}")
     return 0
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
-    db = _open(args.db)
-    for key, value in db.scan(args.low.encode(), args.high.encode()):
-        print(f"{key.decode(errors='replace')}\t"
-              f"{value.decode(errors='replace')}")
+    with _Session(args.db) as session:
+        for key, value in session.db.scan(
+            args.low.encode(), args.high.encode()
+        ):
+            print(f"{key.decode(errors='replace')}\t"
+                  f"{value.decode(errors='replace')}")
     return 0
 
 
 def cmd_history(args: argparse.Namespace) -> int:
-    db = _open(args.db)
-    for timestamp, value in db.history(args.key.encode()):
-        print(f"ts {timestamp}: {value.decode(errors='replace')}")
+    with _Session(args.db) as session:
+        for timestamp, value in session.db.history(args.key.encode()):
+            print(f"ts {timestamp}: {value.decode(errors='replace')}")
     return 0
 
 
 def cmd_sql(args: argparse.Namespace) -> int:
-    db = _open(args.db)
-    result = db.sql(args.statement)
-    if isinstance(result, list):
-        for row in result:
-            print(row)
-        print(f"({len(result)} rows)")
-    elif isinstance(result, int):
-        print(f"({result} rows affected)")
-        save_database(db, args.db)
-    else:
-        height = getattr(result, "height", "?")
-        print(f"ok: sealed block #{height}")
-        save_database(db, args.db)
+    with _Session(args.db) as session:
+        result = session.db.sql(args.statement)
+        if isinstance(result, list):
+            for row in result:
+                print(row)
+            print(f"({len(result)} rows)")
+        elif isinstance(result, int):
+            print(f"({result} rows affected)")
+            session.commit()
+        else:
+            height = getattr(result, "height", "?")
+            print(f"ok: sealed block #{height}")
+            session.commit()
     return 0
 
 
 def cmd_digest(args: argparse.Namespace) -> int:
-    db = _open(args.db)
-    digest = db.digest()
-    print(f"height: {digest.height}")
-    print(f"chain:  {digest.chain_digest.hex()}")
-    print(f"root:   {digest.tree_root.hex()}")
+    with _Session(args.db) as session:
+        digest = session.db.digest()
+        print(f"height: {digest.height}")
+        print(f"chain:  {digest.chain_digest.hex()}")
+        print(f"root:   {digest.tree_root.hex()}")
     return 0
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
-    db = _open(args.db)
-    findings = audit_ledger(db.ledger)
-    if findings:
-        for finding in findings:
-            print(f"FINDING: {finding}")
-        return 2
-    print(f"clean: {db.ledger.height} blocks audited")
+    with _Session(args.db) as session:
+        findings = audit_ledger(session.db.ledger)
+        if findings:
+            for finding in findings:
+                print(f"FINDING: {finding}")
+            return 2
+        print(f"clean: {session.db.ledger.height} blocks audited")
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    with _Session(args.db) as session:
+        if session.durable is None:
+            raise SpitzError(
+                f"{args.db} is a snapshot file; 'checkpoint' needs a "
+                "durable directory (init --durable)"
+            )
+        lsn, path = session.durable.checkpoint()
+        print(f"checkpoint at lsn {lsn}: {path.name}")
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    if not Path(args.db).is_dir():
+        raise SpitzError(
+            f"{args.db} is not a durable directory; nothing to recover"
+        )
+    report = recover(args.db)
+    print(f"recovered: {report.describe()}")
+    print(f"height: {report.db.ledger.height}")
     return 0
 
 
@@ -138,9 +223,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("init", help="create an empty database snapshot")
+    p = sub.add_parser("init", help="create an empty database")
     p.add_argument("db")
     p.add_argument("--force", action="store_true")
+    p.add_argument(
+        "--durable", action="store_true",
+        help="create a WAL+checkpoint directory instead of a snapshot file",
+    )
     p.set_defaults(func=cmd_init)
 
     p = sub.add_parser("put", help="write one key")
@@ -184,6 +273,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("db")
     p.set_defaults(func=cmd_audit)
 
+    p = sub.add_parser(
+        "checkpoint",
+        help="snapshot a durable database and truncate its WAL",
+    )
+    p.add_argument("db")
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "recover",
+        help="run crash recovery on a durable database and report",
+    )
+    p.add_argument("db")
+    p.set_defaults(func=cmd_recover)
+
     return parser
 
 
@@ -192,6 +295,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except TamperDetectedError as error:
+        print(f"TAMPER DETECTED: {error}", file=sys.stderr)
+        return EXIT_TAMPERED
     except SpitzError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -26,7 +26,7 @@ how Spitz serves as the ledger database of the non-intrusive design
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.crypto.hashing import Digest
 from repro.errors import QueryError, SchemaError
@@ -97,6 +97,45 @@ class SpitzDatabase:
         self.block_batch = block_batch
         self._pending_writes: Dict[bytes, object] = {}
         self._pending_statements: list = []
+        # Commit hooks observe every ledger-affecting operation after
+        # it is applied — the durability layer's WAL attaches here.
+        # Deliberately excluded from pickling (see __getstate__): a
+        # snapshot captures state, not live observers.
+        self._commit_hooks: List[Callable[[str, Dict[str, object]], None]] = []
+
+    # ------------------------------------------------------------------
+    # commit hooks (durability / replication observers)
+    # ------------------------------------------------------------------
+
+    def add_commit_hook(
+        self, hook: Callable[[str, Dict[str, object]], None]
+    ) -> None:
+        """Register ``hook(kind, payload)`` to run after each commit.
+
+        Kinds: ``"commit"`` with ``{"writes", "statements",
+        "timestamp"}`` (writes map logical keys to value bytes or the
+        ``DELETE`` sentinel) and ``"create_table"`` with ``{"name",
+        "columns", "primary_key"}``.  Hooks run inside the commit lock,
+        after the operation is fully applied.
+        """
+        self._commit_hooks.append(hook)
+
+    def remove_commit_hook(
+        self, hook: Callable[[str, Dict[str, object]], None]
+    ) -> None:
+        if hook in self._commit_hooks:
+            self._commit_hooks.remove(hook)
+
+    def _notify_commit_hooks(
+        self, kind: str, payload: Dict[str, object]
+    ) -> None:
+        for hook in list(self._commit_hooks):
+            hook(kind, payload)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_commit_hooks"] = []  # observers are not state
+        return state
 
     # ------------------------------------------------------------------
     # central commit pipeline
@@ -157,12 +196,23 @@ class SpitzDatabase:
                     mvcc_writes, timestamp, txn_id=0
                 )
         if self.block_batch == 1 and not self._pending_writes:
-            return self.ledger.append_block(writes, statements)
-        self._pending_writes.update(writes)
-        self._pending_statements.extend(statements)
-        if len(self._pending_writes) >= self.block_batch:
-            return self.flush_ledger()
-        return self.ledger.latest_block()
+            block = self.ledger.append_block(writes, statements)
+        else:
+            self._pending_writes.update(writes)
+            self._pending_statements.extend(statements)
+            if len(self._pending_writes) >= self.block_batch:
+                block = self.flush_ledger()
+            else:
+                block = self.ledger.latest_block()
+        self._notify_commit_hooks(
+            "commit",
+            {
+                "writes": dict(writes),
+                "statements": tuple(statements),
+                "timestamp": timestamp,
+            },
+        )
+        return block
 
     def flush_ledger(self) -> Block:
         """Seal pending ledger writes into a block (no-op-safe)."""
@@ -340,6 +390,14 @@ class SpitzDatabase:
                 f"({', '.join(f'{c.name} {c.type}' for c in schema.columns)}"
                 f", PRIMARY KEY ({schema.primary_key}))",
             ),
+        )
+        self._notify_commit_hooks(
+            "create_table",
+            {
+                "name": schema.name,
+                "columns": [(c.name, c.type) for c in schema.columns],
+                "primary_key": schema.primary_key,
+            },
         )
 
     def table(self, name: str) -> TableSchema:

@@ -111,17 +111,47 @@ class ProcessorNode:
 
 
 class SpitzCluster:
-    """The master: shared storage layer + N processor nodes + queue."""
+    """The master: shared storage layer + N processor nodes + queue.
 
-    def __init__(self, nodes: int = 2, mask_bits: int = 5):
+    With ``durable_root`` set, the shared storage layer is opened
+    through crash recovery and every commit any node seals is
+    write-ahead logged (group commit via ``sync_every``); ``stop``
+    syncs the log, and :meth:`checkpoint` bounds replay on the next
+    open.  Commits are serialized by the database's commit lock, so
+    one WAL serves all processor threads.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 2,
+        mask_bits: int = 5,
+        durable_root: Optional[str] = None,
+        sync_every: int = 1,
+    ):
         if nodes < 1:
             raise ValueError("need at least one processor node")
-        self.db = SpitzDatabase(mask_bits=mask_bits)
+        if durable_root is not None:
+            # Imported here: durability sits above core in the layering.
+            from repro.durability import DurableDatabase
+
+            self.durable: Optional[DurableDatabase] = DurableDatabase.open(
+                durable_root, sync_every=sync_every, mask_bits=mask_bits
+            )
+            self.db = self.durable.db
+        else:
+            self.durable = None
+            self.db = SpitzDatabase(mask_bits=mask_bits)
         self.queue = MessageQueue()
         self.nodes: List[ProcessorNode] = [
             ProcessorNode(f"p{i}", self.db, self.queue)
             for i in range(nodes)
         ]
+
+    def checkpoint(self):
+        """Durable mode only: snapshot state and truncate the WAL."""
+        if self.durable is None:
+            raise RuntimeError("cluster is not running in durable mode")
+        return self.durable.checkpoint()
 
     def start(self) -> None:
         for node in self.nodes:
@@ -130,6 +160,14 @@ class SpitzCluster:
     def stop(self) -> None:
         for node in self.nodes:
             node.stop()
+        if self.durable is not None:
+            self.durable.sync()
+
+    def close(self) -> None:
+        """Stop nodes and release the WAL (durable mode)."""
+        self.stop()
+        if self.durable is not None:
+            self.durable.close()
 
     def submit(self, request: Request, timeout: float = 10.0) -> Response:
         """Send a request through the queue and await its response."""

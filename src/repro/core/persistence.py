@@ -7,14 +7,16 @@ serialized to a file with an integrity header, and reloads are checked
 against both the header digest and a full chain audit.
 
 Caveats (documented, deliberate):
-- a snapshot is a point-in-time copy, not a write-ahead log; crash
-  consistency between two saves is out of scope;
+- a snapshot is a point-in-time copy, not a write-ahead log; for
+  crash consistency *between* saves, layer the WAL on top
+  (:mod:`repro.durability` — it reuses this format for checkpoints);
 - the format is Python-pickle based and not cross-version stable —
   it is a convenience layer, not an interchange format.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import sys
 from pathlib import Path
@@ -31,7 +33,10 @@ def save_database(db: SpitzDatabase, path: Union[str, Path]) -> int:
     """Write a snapshot of ``db``; returns the snapshot size in bytes.
 
     Pending ledger writes are flushed first so the snapshot is a
-    sealed, verifiable state.
+    sealed, verifiable state.  The write is atomic: the blob lands in
+    a temp file that is fsynced and then renamed over ``path``, so a
+    crash mid-save leaves the previous snapshot untouched rather than
+    a half-written one.
     """
     db.flush_ledger()
     # Deep object graphs (B+-tree leaf chains) need headroom beyond
@@ -39,12 +44,22 @@ def save_database(db: SpitzDatabase, path: Union[str, Path]) -> int:
     limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(limit, 100_000))
     try:
-        payload = pickle.dumps(db, protocol=4)
+        payload = pickle.dumps(db, protocol=pickle.HIGHEST_PROTOCOL)
     finally:
         sys.setrecursionlimit(limit)
     digest = hash_bytes(payload)
     blob = _MAGIC + bytes(digest) + payload
-    Path(path).write_bytes(blob)
+    path = Path(path)
+    temp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    try:
+        with open(temp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+    finally:
+        if temp.exists():
+            temp.unlink()
     return len(blob)
 
 

@@ -1,0 +1,76 @@
+"""Checkpoints: periodic snapshots that bound WAL replay.
+
+A checkpoint is the existing integrity-checked snapshot format
+(:mod:`repro.core.persistence` — magic, digest header, chain-audited
+on load) written as ``checkpoint-<lsn>.spitz``, where ``<lsn>`` is the
+last WAL record folded into the snapshotted state.  Recovery loads the
+highest-LSN checkpoint and replays only records with a larger LSN;
+sealed segments entirely at or below the checkpoint LSN are deleted.
+
+Policy: checkpoints are explicit (CLI ``checkpoint`` subcommand,
+:meth:`DurableDatabase.checkpoint`) or interval-driven via
+``checkpoint_every`` on :class:`~repro.durability.recovery.DurableDatabase`
+— every N commits.  Because the snapshot write is atomic
+(temp file + ``os.replace``) a crash mid-checkpoint leaves the
+previous checkpoint intact and the WAL un-truncated, which recovery
+handles as the ordinary case.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.core.persistence import save_database
+
+CHECKPOINT_PREFIX = "checkpoint-"
+CHECKPOINT_SUFFIX = ".spitz"
+_CHECKPOINT_RE = re.compile(
+    re.escape(CHECKPOINT_PREFIX) + r"(\d{12})" + re.escape(CHECKPOINT_SUFFIX)
+)
+
+
+def checkpoint_path(root: Union[str, Path], lsn: int) -> Path:
+    return Path(root) / f"{CHECKPOINT_PREFIX}{lsn:012d}{CHECKPOINT_SUFFIX}"
+
+
+def list_checkpoints(root: Union[str, Path]) -> List[Tuple[int, Path]]:
+    """(lsn, path) pairs for every checkpoint, oldest first."""
+    out: List[Tuple[int, Path]] = []
+    for entry in sorted(Path(root).glob(
+        f"{CHECKPOINT_PREFIX}*{CHECKPOINT_SUFFIX}"
+    )):
+        match = _CHECKPOINT_RE.fullmatch(entry.name)
+        if match:
+            out.append((int(match.group(1)), entry))
+    return out
+
+
+def latest_checkpoint(
+    root: Union[str, Path]
+) -> Optional[Tuple[int, Path]]:
+    checkpoints = list_checkpoints(root)
+    return checkpoints[-1] if checkpoints else None
+
+
+def write_checkpoint(db, wal, keep: int = 2) -> Tuple[int, Path]:
+    """Snapshot ``db`` and truncate the WAL behind it.
+
+    ``wal`` is the live :class:`~repro.durability.wal.WriteAheadLog`
+    for the same directory.  The WAL is synced first so the snapshot
+    never runs ahead of the durable log.  ``keep`` older checkpoints
+    are retained as fallbacks; the rest are deleted along with every
+    sealed WAL segment the new checkpoint covers.
+
+    Returns ``(lsn, path)`` of the new checkpoint.
+    """
+    wal.sync()
+    lsn = wal.last_lsn
+    path = checkpoint_path(wal.root, lsn)
+    save_database(db, path)
+    wal.truncate_through(lsn)
+    checkpoints = list_checkpoints(wal.root)
+    for old_lsn, old_path in checkpoints[:-max(keep, 1)]:
+        old_path.unlink()
+    return lsn, path

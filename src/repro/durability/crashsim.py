@@ -1,0 +1,160 @@
+"""Fault injection for the durability layer.
+
+:class:`CrashyIO` plugs into :class:`~repro.durability.wal.WalIO` and
+models the two ways a crash loses data:
+
+- **dropped writes** — every byte past a cumulative budget ``K``
+  silently vanishes (the process "crashed" at that point; callers keep
+  believing their writes succeeded, exactly like a lost page cache);
+- **suppressed fsync** — ``fsync`` becomes a no-op, and
+  :meth:`simulate_crash` truncates each file back to its last *really*
+  fsynced watermark, modelling an OS crash that discards everything
+  the page cache never flushed.
+
+Both compose: a group-committed WAL under ``CrashyIO(skip_fsync=True)``
+loses exactly the unsynced window on crash, which is what the recovery
+suite asserts.  The module also offers post-hoc corruption helpers
+(truncate at an arbitrary byte, flip a byte) for tamper-vs-torn-tail
+tests.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Optional, Union
+
+from repro.durability.wal import WalIO, list_segments
+
+
+class _FaultyFile:
+    """File wrapper that drops writes once the shared budget runs out."""
+
+    def __init__(self, handle: BinaryIO, io: "CrashyIO", path: Path):
+        self._handle = handle
+        self._io = io
+        self._path = path
+        self.written = handle.tell()
+        self.synced = self.written
+
+    def write(self, data: bytes) -> int:
+        durable = self._io._consume(len(data))
+        if durable:
+            self._handle.write(data[:durable])
+        # Report full success: the writer must not notice the "crash".
+        self.written += len(data)
+        return len(data)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def tell(self) -> int:
+        return self.written
+
+    def close(self) -> None:
+        self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+
+class CrashyIO(WalIO):
+    """A :class:`WalIO` that injects crash faults (see module docs)."""
+
+    def __init__(
+        self,
+        drop_after: Optional[int] = None,
+        skip_fsync: bool = False,
+    ):
+        #: Remaining write budget in bytes (None = unlimited).
+        self.remaining = drop_after
+        self.skip_fsync = skip_fsync
+        self.dropped_bytes = 0
+        self.suppressed_fsyncs = 0
+        self._files: Dict[Path, _FaultyFile] = {}
+
+    def _consume(self, nbytes: int) -> int:
+        """How many of ``nbytes`` may reach the file; rest is dropped."""
+        if self.remaining is None:
+            return nbytes
+        durable = min(nbytes, max(self.remaining, 0))
+        self.remaining -= nbytes
+        self.dropped_bytes += nbytes - durable
+        return durable
+
+    def open_append(self, path: Union[str, Path]) -> BinaryIO:
+        path = Path(path)
+        handle = open(path, "ab")
+        faulty = _FaultyFile(handle, self, path)
+        self._files[path] = faulty
+        return faulty  # type: ignore[return-value]
+
+    def fsync(self, handle) -> None:
+        if self.skip_fsync:
+            self.suppressed_fsyncs += 1
+            return
+        handle.flush()
+        os.fsync(handle.fileno())
+        if isinstance(handle, _FaultyFile):
+            handle.synced = handle._handle.tell()
+
+    def simulate_crash(self) -> List[Path]:
+        """Discard never-fsynced bytes, as an OS crash would.
+
+        Closes every file the shim opened; with ``skip_fsync`` each is
+        truncated to its last genuinely-fsynced watermark.  Returns
+        the affected paths (reopen them with a real :class:`WalIO` to
+        exercise recovery).
+        """
+        affected: List[Path] = []
+        for path, faulty in self._files.items():
+            if not faulty.closed:
+                faulty._handle.flush()
+                faulty.close()
+            if self.skip_fsync and path.exists():
+                with open(path, "r+b") as handle:
+                    handle.truncate(faulty.synced)
+            affected.append(path)
+        self._files.clear()
+        return affected
+
+
+# -- post-hoc corruption helpers (tamper-vs-torn tests) --------------------
+
+
+def wal_stream_length(root: Union[str, Path]) -> int:
+    """Total bytes across all WAL segments, in segment order."""
+    return sum(path.stat().st_size for _idx, path in list_segments(root))
+
+
+def truncate_wal_stream(root: Union[str, Path], offset: int) -> None:
+    """Cut the logical WAL byte stream at ``offset``.
+
+    The segment containing the offset is truncated; later segments are
+    deleted — byte-for-byte what a crash at that point leaves behind.
+    """
+    consumed = 0
+    for _idx, path in list_segments(root):
+        size = path.stat().st_size
+        if consumed + size <= offset:
+            consumed += size
+            continue
+        keep = max(offset - consumed, 0)
+        if keep == 0:
+            path.unlink()
+        else:
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+        consumed += size
+
+
+def flip_byte(path: Union[str, Path], offset: int) -> None:
+    """Flip one bit of one byte in ``path`` (tamper injection)."""
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    blob[offset] ^= 0x01
+    path.write_bytes(bytes(blob))

@@ -83,13 +83,30 @@ class _LedgerServer:
 
 
 class NonIntrusiveVDB:
-    """Client-side facade over the two remote systems."""
+    """Client-side facade over the two remote systems.
 
-    def __init__(self, mask_bits: int = 3):
+    Idempotent operations (reads, proofs, digests) retry through
+    :meth:`Channel.call_with_retry` up to ``retry_attempts`` times —
+    a lost message on either leg (request *or* response) of those
+    calls is absorbed.  Writes are not retried: a response-leg loss
+    after the server applied an append must surface, not re-execute.
+    """
+
+    def __init__(
+        self,
+        mask_bits: int = 3,
+        loss_every: int = 0,
+        retry_attempts: int = 3,
+    ):
         self._kvs_server = _KvsServer()
         self._ledger_server = _LedgerServer(mask_bits=mask_bits)
-        self.kvs_channel = Channel(self._kvs_server.handle)
-        self.ledger_channel = Channel(self._ledger_server.handle)
+        self.kvs_channel = Channel(
+            self._kvs_server.handle, loss_every=loss_every
+        )
+        self.ledger_channel = Channel(
+            self._ledger_server.handle, loss_every=loss_every
+        )
+        self.retry_attempts = retry_attempts
 
     # -- writes ------------------------------------------------------------
 
@@ -113,7 +130,9 @@ class NonIntrusiveVDB:
 
     def get(self, key: bytes) -> Optional[bytes]:
         """Unverified read: underlying database only (1 round trip)."""
-        return self.kvs_channel.call(("get", (key,)))
+        return self.kvs_channel.call_with_retry(
+            ("get", (key,)), attempts=self.retry_attempts
+        )
 
     def get_verified(
         self, key: bytes
@@ -125,9 +144,11 @@ class NonIntrusiveVDB:
         also check that the proven value equals the returned one —
         that cross-check is what catches a tampered underlying DB.
         """
-        value = self.kvs_channel.call(("get", (key,)))
-        proven_value, proof, digest = self.ledger_channel.call(
-            ("prove", (key,))
+        value = self.kvs_channel.call_with_retry(
+            ("get", (key,)), attempts=self.retry_attempts
+        )
+        proven_value, proof, digest = self.ledger_channel.call_with_retry(
+            ("prove", (key,)), attempts=self.retry_attempts
         )
         if proven_value != value:
             raise IntegrationError(
@@ -137,14 +158,18 @@ class NonIntrusiveVDB:
         return value, proof, digest
 
     def scan(self, low: bytes, high: bytes) -> List[Tuple[bytes, bytes]]:
-        return self.kvs_channel.call(("scan", (low, high)))
+        return self.kvs_channel.call_with_retry(
+            ("scan", (low, high)), attempts=self.retry_attempts
+        )
 
     def scan_verified(
         self, low: bytes, high: bytes
     ) -> Tuple[List[Tuple[bytes, bytes]], LedgerRangeProof, LedgerDigest]:
-        values = self.kvs_channel.call(("scan", (low, high)))
-        entries, proof, digest = self.ledger_channel.call(
-            ("prove_range", (low, high))
+        values = self.kvs_channel.call_with_retry(
+            ("scan", (low, high)), attempts=self.retry_attempts
+        )
+        entries, proof, digest = self.ledger_channel.call_with_retry(
+            ("prove_range", (low, high)), attempts=self.retry_attempts
         )
         stripped = [
             (key[len(KV_PREFIX):], value) for key, value in entries
@@ -157,7 +182,9 @@ class NonIntrusiveVDB:
         return values, proof, digest
 
     def digest(self) -> LedgerDigest:
-        return self.ledger_channel.call(("digest", ()))
+        return self.ledger_channel.call_with_retry(
+            ("digest", ()), attempts=self.retry_attempts
+        )
 
     # -- accounting -----------------------------------------------------------
 

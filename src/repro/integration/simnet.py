@@ -31,6 +31,11 @@ class NetworkStats:
     messages: int = 0
     bytes_sent: int = 0
     round_trips: int = 0
+    #: Failed attempts that were retried (see ``call_with_retry``).
+    retries: int = 0
+    #: Deterministic backoff budget "spent" on retries, in abstract
+    #: units (no wall-clock sleeping happens; exponential doubling).
+    backoff_units: float = 0.0
 
 
 class Channel:
@@ -86,3 +91,28 @@ class Channel:
         decoded_response = self._transmit(response)
         self.stats.round_trips += 1
         return decoded_response
+
+    def call_with_retry(
+        self, request: Any, attempts: int = 3, backoff: float = 1.0
+    ) -> Any:
+        """``call`` with deterministic exponential-backoff retries.
+
+        A loss can hit either leg: the request before the server runs,
+        or the *response* after it ran — so only idempotent requests
+        should be retried (re-running a read is safe; re-running an
+        append is not).  Backoff is accounted in ``stats`` rather than
+        slept (``backoff * 2**attempt`` units per failure), keeping
+        simulations wall-clock free and ratios machine-stable.
+
+        Raises the last :class:`NetworkError` after ``attempts`` tries.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be positive")
+        for attempt in range(attempts):
+            try:
+                return self.call(request)
+            except NetworkError:
+                if attempt == attempts - 1:
+                    raise
+                self.stats.retries += 1
+                self.stats.backoff_units += backoff * (2 ** attempt)

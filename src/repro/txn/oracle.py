@@ -47,6 +47,17 @@ class TimestampOracle:
         with self._lock:
             return self._next - 1
 
+    def advance_to(self, timestamp: int) -> None:
+        """Ensure future allocations exceed ``timestamp``.
+
+        Used by crash recovery after replaying logged commits that
+        carry explicit timestamps: the oracle must not re-issue them.
+        """
+        with self._lock:
+            if timestamp >= self._next:
+                self._next = timestamp + 1
+                self._lease_end = max(self._lease_end, self._next)
+
     def __getstate__(self):
         state = dict(self.__dict__)
         del state["_lock"]  # recreated on restore

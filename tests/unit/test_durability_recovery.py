@@ -1,0 +1,269 @@
+"""Crash-recovery suite: checkpoint + replay + audit, fault injection,
+the durable CLI surface and the durable cluster mode."""
+
+import pytest
+
+from repro import cli
+from repro.core.node import SpitzCluster
+from repro.core.request_handler import Request, RequestKind
+from repro.durability import (
+    DurableDatabase,
+    latest_checkpoint,
+    list_checkpoints,
+    recover,
+)
+from repro.durability.crashsim import (
+    CrashyIO,
+    flip_byte,
+    truncate_wal_stream,
+    wal_stream_length,
+)
+from repro.durability.wal import list_segments
+from repro.errors import SpitzError, TamperDetectedError
+
+
+def _populate(ddb):
+    ddb.put(b"alpha", b"1")
+    ddb.put(b"beta", b"2")
+    ddb.sql("CREATE TABLE t (id INT, v STR, PRIMARY KEY (id))")
+    ddb.sql("INSERT INTO t (id, v) VALUES (1, 'one')")
+    with ddb.transaction() as txn:
+        txn.put(b"gamma", b"3")
+    ddb.delete(b"beta")
+
+
+class TestRecoveryRoundTrip:
+    def test_digest_identical_after_replay(self, tmp_path):
+        with DurableDatabase.open(tmp_path) as ddb:
+            _populate(ddb)
+            digest = ddb.digest()
+        with DurableDatabase.open(tmp_path) as restored:
+            assert restored.digest() == digest
+            assert restored.get(b"alpha") == b"1"
+            assert restored.get(b"beta") is None
+            assert restored.get(b"gamma") == b"3"
+            assert restored.sql("SELECT v FROM t WHERE id = 1") == [
+                {"v": "one"}
+            ]
+            assert restored.verify_chain()
+
+    def test_recovered_db_accepts_fresh_writes(self, tmp_path):
+        with DurableDatabase.open(tmp_path) as ddb:
+            _populate(ddb)
+        with DurableDatabase.open(tmp_path) as restored:
+            restored.put(b"delta", b"4")
+            with restored.transaction() as txn:
+                txn.put(b"epsilon", b"5")
+        with DurableDatabase.open(tmp_path) as again:
+            assert again.get(b"delta") == b"4"
+            assert again.get(b"epsilon") == b"5"
+            assert again.verify_chain()
+
+    def test_timestamps_advance_past_replayed(self, tmp_path):
+        with DurableDatabase.open(tmp_path) as ddb:
+            _populate(ddb)
+            before = ddb.oracle.current()
+        with DurableDatabase.open(tmp_path) as restored:
+            assert restored.oracle.current() >= before
+            restored.put(b"new", b"x")  # must not collide
+            assert restored.history(b"new")
+
+    def test_report_describes_replay(self, tmp_path):
+        with DurableDatabase.open(tmp_path) as ddb:
+            ddb.put(b"k", b"v")
+        report = recover(tmp_path)
+        assert report.replayed == 1
+        assert report.checkpoint_path is None
+        assert "replayed 1 record" in report.describe()
+
+
+class TestCheckpoints:
+    def test_checkpoint_bounds_replay_and_truncates(self, tmp_path):
+        with DurableDatabase.open(tmp_path, segment_bytes=512) as ddb:
+            for i in range(40):
+                ddb.put(b"k%d" % i, b"v%d" % i)
+            segments_before = len(list_segments(tmp_path))
+            lsn, path = ddb.checkpoint()
+            assert path.exists()
+            assert len(list_segments(tmp_path)) < segments_before
+            ddb.put(b"after", b"ckpt")
+        report = recover(tmp_path)
+        assert report.checkpoint_lsn == lsn
+        assert report.replayed == 1  # only the post-checkpoint put
+        assert report.db.get(b"after") == b"ckpt"
+        assert report.db.get(b"k7") == b"v7"
+
+    def test_checkpoint_every_commits(self, tmp_path):
+        with DurableDatabase.open(tmp_path, checkpoint_every=5) as ddb:
+            for i in range(12):
+                ddb.put(b"c%d" % i, b"x")
+            assert len(list_checkpoints(tmp_path)) >= 2
+        report = recover(tmp_path)
+        assert report.checkpoint_lsn > 0
+        assert report.replayed <= 5
+
+    def test_old_checkpoints_pruned(self, tmp_path):
+        with DurableDatabase.open(tmp_path, checkpoint_keep=2) as ddb:
+            for i in range(4):
+                ddb.put(b"k%d" % i, b"v")
+                ddb.checkpoint()
+            assert len(list_checkpoints(tmp_path)) <= 3
+
+    def test_tampered_checkpoint_detected(self, tmp_path):
+        with DurableDatabase.open(tmp_path) as ddb:
+            _populate(ddb)
+            ddb.checkpoint()
+        lsn, path = latest_checkpoint(tmp_path)
+        flip_byte(path, path.stat().st_size // 2)
+        with pytest.raises(TamperDetectedError):
+            recover(tmp_path)
+
+
+class TestCrashInjection:
+    def test_drop_writes_after_k_recovers_prefix(self, tmp_path):
+        io = CrashyIO(drop_after=600)
+        ddb = DurableDatabase.open(tmp_path, io=io)
+        for i in range(50):
+            ddb.put(b"k%02d" % i, b"v%d" % i)
+        io.simulate_crash()
+        with DurableDatabase.open(tmp_path) as restored:
+            state = dict(restored.scan(b"", b"\xff"))
+            count = len(state)
+            assert 0 < count < 50
+            # The surviving keys are exactly the first `count` puts.
+            assert state == {
+                b"k%02d" % i: b"v%d" % i for i in range(count)
+            }
+            assert restored.verify_chain()
+
+    def test_skip_fsync_loses_group_commit_window(self, tmp_path):
+        with DurableDatabase.open(tmp_path) as ddb:
+            ddb.put(b"durable", b"yes")
+        io = CrashyIO(skip_fsync=True)
+        ddb = DurableDatabase.open(tmp_path, sync_every=64, io=io)
+        for i in range(10):
+            ddb.put(b"lost%d" % i, b"v")
+        io.simulate_crash()
+        with DurableDatabase.open(tmp_path) as restored:
+            assert restored.get(b"durable") == b"yes"
+            assert restored.get(b"lost3") is None
+            assert restored.verify_chain()
+
+    def test_synced_writes_survive_skip_fsync_crash(self, tmp_path):
+        io = CrashyIO(skip_fsync=False)
+        ddb = DurableDatabase.open(tmp_path, sync_every=1, io=io)
+        ddb.put(b"a", b"1")
+        ddb.put(b"b", b"2")
+        io.simulate_crash()
+        with DurableDatabase.open(tmp_path) as restored:
+            assert restored.get(b"a") == b"1"
+            assert restored.get(b"b") == b"2"
+
+    def test_torn_tail_mid_record(self, tmp_path):
+        with DurableDatabase.open(tmp_path) as ddb:
+            for i in range(10):
+                ddb.put(b"k%d" % i, b"v")
+        truncate_wal_stream(tmp_path, wal_stream_length(tmp_path) - 3)
+        with DurableDatabase.open(tmp_path) as restored:
+            assert restored.last_recovery.torn_tail_dropped
+            assert restored.get(b"k8") == b"v"
+            assert restored.get(b"k9") is None
+            assert restored.verify_chain()
+
+    def test_mid_log_corruption_never_loads_silently(self, tmp_path):
+        from repro.durability.wal import SEGMENT_HEADER_SIZE
+
+        with DurableDatabase.open(tmp_path) as ddb:
+            for i in range(20):
+                ddb.put(b"k%d" % i, b"v%d" % i)
+        index, path = list_segments(tmp_path)[0]
+        # Corrupt the *payload* of the third record: a checksum
+        # failure with valid records after it is tampering, not a
+        # torn tail.
+        blob = path.read_bytes()
+        offset = SEGMENT_HEADER_SIZE
+        for _skip in range(2):
+            length = int.from_bytes(blob[offset:offset + 4], "big")
+            offset += 8 + length
+        flip_byte(path, offset + 8 + 2)
+        with pytest.raises(TamperDetectedError):
+            DurableDatabase.open(tmp_path)
+
+
+class TestDurableCli:
+    def test_init_put_get_checkpoint_recover(self, tmp_path, capsys):
+        root = str(tmp_path / "db.d")
+        assert cli.main(["init", root, "--durable"]) == 0
+        assert cli.main(["put", root, "account:alice", "100"]) == 0
+        assert cli.main(["get", root, "account:alice", "--verify"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+        assert cli.main(["checkpoint", root]) == 0
+        assert "checkpoint at lsn" in capsys.readouterr().out
+        assert cli.main(["put", root, "account:bob", "7"]) == 0
+        assert cli.main(["recover", root]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 1 record" in out and "chain audit clean" in out
+        assert cli.main(["audit", root]) == 0
+
+    def test_durable_sql_and_history(self, tmp_path, capsys):
+        root = str(tmp_path / "db.d")
+        cli.main(["init", root, "--durable"])
+        assert cli.main([
+            "sql", root, "CREATE TABLE t (id INT, PRIMARY KEY (id))"
+        ]) == 0
+        assert cli.main(["sql", root, "INSERT INTO t (id) VALUES (7)"]) == 0
+        assert cli.main(["sql", root, "SELECT * FROM t"]) == 0
+        assert "{'id': 7}" in capsys.readouterr().out
+
+    def test_init_refuses_nonempty_dir(self, tmp_path, capsys):
+        root = str(tmp_path / "db.d")
+        cli.main(["init", root, "--durable"])
+        assert cli.main(["init", root, "--durable"]) == 1
+        assert cli.main(["init", root, "--durable", "--force"]) == 0
+
+    def test_checkpoint_requires_durable(self, tmp_path, capsys):
+        snap = str(tmp_path / "db.spitz")
+        cli.main(["init", snap])
+        assert cli.main(["checkpoint", snap]) == 1
+
+    def test_tampered_wal_exits_3(self, tmp_path, capsys):
+        root = tmp_path / "db.d"
+        cli.main(["init", str(root), "--durable"])
+        for i in range(10):
+            cli.main(["put", str(root), f"k{i}", "v"])
+        index, path = list_segments(root)[0]
+        flip_byte(path, path.stat().st_size // 2)
+        assert cli.main(["get", str(root), "k1"]) == cli.EXIT_TAMPERED
+        assert "TAMPER DETECTED" in capsys.readouterr().err
+
+
+class TestDurableCluster:
+    def test_cluster_commits_survive_restart(self, tmp_path):
+        root = str(tmp_path / "cluster.d")
+        cluster = SpitzCluster(nodes=2, durable_root=root)
+        cluster.start()
+        try:
+            for i in range(8):
+                response = cluster.submit(
+                    Request(
+                        RequestKind.PUT,
+                        {"key": b"ck%d" % i, "value": b"v%d" % i},
+                    )
+                )
+                assert response.ok, response.error
+        finally:
+            cluster.close()
+        revived = SpitzCluster(nodes=1, durable_root=root)
+        try:
+            assert revived.db.get(b"ck3") == b"v3"
+            assert revived.db.verify_chain()
+            lsn, _path = revived.checkpoint()
+            assert lsn > 0
+        finally:
+            revived.close()
+
+    def test_non_durable_cluster_has_no_checkpoint(self):
+        cluster = SpitzCluster(nodes=1)
+        with pytest.raises(RuntimeError):
+            cluster.checkpoint()
+        cluster.close()

@@ -73,6 +73,58 @@ class TestChannel:
             channel.call("request-lost")
 
 
+class TestCallWithRetry:
+    def test_request_leg_loss_retried(self):
+        channel = Channel(lambda req: req, loss_every=3)
+        channel.call("warmup")  # messages 1, 2
+        # Message 3 (the next request) is lost; the retry succeeds.
+        assert channel.call_with_retry("x") == "x"
+        assert channel.stats.retries == 1
+        assert channel.stats.backoff_units == 1.0
+
+    def test_response_leg_loss_retried(self):
+        served = []
+
+        def handler(req):
+            served.append(req)
+            return req
+
+        channel = Channel(handler, loss_every=4)
+        channel.call("warmup")  # messages 1, 2
+        # Message 4 is the *response* of the next call: the server ran
+        # but the client never heard back. The retry re-executes it.
+        assert channel.call_with_retry("x") == "x"
+        assert served == ["warmup", "x", "x"]
+        assert channel.stats.retries == 1
+
+    def test_attempts_exhausted_reraises(self):
+        channel = Channel(lambda req: req, loss_every=1)  # lose all
+        with pytest.raises(NetworkError):
+            channel.call_with_retry("x", attempts=3, backoff=2.0)
+        assert channel.stats.retries == 2
+        # Exponential accounting: 2*2**0 + 2*2**1 units, no sleeping.
+        assert channel.stats.backoff_units == 6.0
+
+    def test_nonintrusive_reads_survive_lossy_network(self):
+        vdb = NonIntrusiveVDB(loss_every=5)
+        vdb.put(b"k", b"v")
+        for _ in range(10):
+            value, proof, digest = vdb.get_verified(b"k")
+            assert value == b"v"
+            verifier = ClientVerifier()
+            verifier.trust(digest)
+            assert verifier.verify(proof)
+        assert (
+            vdb.kvs_channel.stats.retries
+            + vdb.ledger_channel.stats.retries
+        ) > 0
+
+    def test_nonintrusive_writes_not_retried(self):
+        vdb = NonIntrusiveVDB(loss_every=2)  # every call's response lost
+        with pytest.raises(NetworkError):
+            vdb.put(b"k", b"v")
+
+
 class TestNonIntrusive:
     def test_put_get(self):
         vdb = NonIntrusiveVDB()

@@ -146,3 +146,29 @@ class TestCli:
         cli.main(["init", path])
         cli.main(["put", path, "k", "v"])
         assert cli.main(["get", path, "k", "--verify"]) == 0
+
+
+class TestCliExitCodes:
+    """Tampering is distinguishable from operational failure by exit
+    code alone: 1 for ordinary errors, 3 for detected tampering."""
+
+    def test_operational_error_exits_1(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.spitz")
+        assert cli.main(["get", missing, "k"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "TAMPER" not in err
+
+    def test_tampered_snapshot_exits_3(self, snapshot_path, capsys):
+        path = str(snapshot_path)
+        cli.main(["init", path])
+        for i in range(20):
+            cli.main(["put", path, f"k{i}", "v"])
+        blob = bytearray(snapshot_path.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        snapshot_path.write_bytes(bytes(blob))
+        assert cli.main(["get", path, "k1"]) == cli.EXIT_TAMPERED
+        assert "TAMPER DETECTED" in capsys.readouterr().err
+
+    def test_exit_codes_are_distinct(self):
+        assert cli.EXIT_TAMPERED == 3
+        assert cli.EXIT_TAMPERED != 1
