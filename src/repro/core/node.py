@@ -116,9 +116,10 @@ class SpitzCluster:
     With ``durable_root`` set, the shared storage layer is opened
     through crash recovery and every commit any node seals is
     write-ahead logged (group commit via ``sync_every``); ``stop``
-    syncs the log, and :meth:`checkpoint` bounds replay on the next
-    open.  Commits are serialized by the database's commit lock, so
-    one WAL serves all processor threads.
+    syncs and closes the log (releasing the single-writer handle so
+    the directory can be reopened), and :meth:`checkpoint` bounds
+    replay on the next open.  Commits are serialized by the database's
+    commit lock, so one WAL serves all processor threads.
     """
 
     def __init__(
@@ -158,16 +159,21 @@ class SpitzCluster:
             node.start()
 
     def stop(self) -> None:
+        """Stop the nodes; in durable mode, sync and release the WAL.
+
+        Idempotent, and identical to :meth:`close` — closing the
+        durable database here keeps the single-writer discipline:
+        callers that only ever call ``stop()`` do not leak the WAL
+        handle or hold the directory against a reopen.
+        """
         for node in self.nodes:
             node.stop()
         if self.durable is not None:
-            self.durable.sync()
+            self.durable.close()
 
     def close(self) -> None:
-        """Stop nodes and release the WAL (durable mode)."""
+        """Alias of :meth:`stop` (kept for context-manager symmetry)."""
         self.stop()
-        if self.durable is not None:
-            self.durable.close()
 
     def submit(self, request: Request, timeout: float = 10.0) -> Response:
         """Send a request through the queue and await its response."""

@@ -4,8 +4,11 @@ A checkpoint is the existing integrity-checked snapshot format
 (:mod:`repro.core.persistence` — magic, digest header, chain-audited
 on load) written as ``checkpoint-<lsn>.spitz``, where ``<lsn>`` is the
 last WAL record folded into the snapshotted state.  Recovery loads the
-highest-LSN checkpoint and replays only records with a larger LSN;
-sealed segments entirely at or below the checkpoint LSN are deleted.
+highest-LSN checkpoint that passes its integrity check (falling back
+to retained older ones) and replays only records with a larger LSN;
+sealed WAL segments entirely at or below the *oldest retained*
+checkpoint's LSN are deleted, so every retained checkpoint can still
+replay to the log's end.
 
 Policy: checkpoints are explicit (CLI ``checkpoint`` subcommand,
 :meth:`DurableDatabase.checkpoint`) or interval-driven via
@@ -55,13 +58,16 @@ def latest_checkpoint(
 
 
 def write_checkpoint(db, wal, keep: int = 2) -> Tuple[int, Path]:
-    """Snapshot ``db`` and truncate the WAL behind it.
+    """Snapshot ``db`` and truncate the WAL behind the retained set.
 
     ``wal`` is the live :class:`~repro.durability.wal.WriteAheadLog`
     for the same directory.  The WAL is synced first so the snapshot
-    never runs ahead of the durable log.  ``keep`` older checkpoints
-    are retained as fallbacks; the rest are deleted along with every
-    sealed WAL segment the new checkpoint covers.
+    never runs ahead of the durable log.  The new checkpoint plus up
+    to ``keep`` older ones are retained — recovery falls back to an
+    older checkpoint when a newer one fails its integrity check — so
+    the WAL is truncated only through the *oldest* retained
+    checkpoint's LSN: every surviving checkpoint keeps the log suffix
+    it needs for replay.
 
     Returns ``(lsn, path)`` of the new checkpoint.
     """
@@ -69,8 +75,9 @@ def write_checkpoint(db, wal, keep: int = 2) -> Tuple[int, Path]:
     lsn = wal.last_lsn
     path = checkpoint_path(wal.root, lsn)
     save_database(db, path)
-    wal.truncate_through(lsn)
     checkpoints = list_checkpoints(wal.root)
-    for old_lsn, old_path in checkpoints[:-max(keep, 1)]:
+    for _old_lsn, old_path in checkpoints[:-(max(keep, 0) + 1)]:
         old_path.unlink()
+    retained = list_checkpoints(wal.root)
+    wal.truncate_through(retained[0][0])
     return lsn, path

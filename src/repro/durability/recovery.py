@@ -16,7 +16,7 @@ silently corrupted state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -26,7 +26,7 @@ from repro.core.persistence import load_database
 from repro.core.schema import TableSchema
 from repro.errors import StorageError, TamperDetectedError
 from repro.indexes.siri import DELETE
-from repro.durability.checkpoint import latest_checkpoint, write_checkpoint
+from repro.durability.checkpoint import list_checkpoints, write_checkpoint
 from repro.durability.wal import WalIO, WalRecord, WriteAheadLog, scan_wal
 
 #: WAL record kinds understood by replay.
@@ -44,6 +44,9 @@ class RecoveryReport:
     replayed: int
     torn_tail_dropped: bool
     last_lsn: int
+    #: Newer checkpoints that failed their integrity check and were
+    #: skipped in favor of an older one (newest first).
+    skipped_checkpoints: List[Path] = field(default_factory=list)
 
     def describe(self) -> str:
         base = (
@@ -52,8 +55,14 @@ class RecoveryReport:
             else "no checkpoint (empty base)"
         )
         torn = "; torn tail dropped" if self.torn_tail_dropped else ""
+        skipped = (
+            f"; fell back past {len(self.skipped_checkpoints)} "
+            "corrupt checkpoint(s)"
+            if self.skipped_checkpoints
+            else ""
+        )
         return (
-            f"{base}; replayed {self.replayed} record(s) "
+            f"{base}{skipped}; replayed {self.replayed} record(s) "
             f"through lsn {self.last_lsn}{torn}; chain audit clean"
         )
 
@@ -84,22 +93,43 @@ def recover(
     """Load the latest valid checkpoint, replay the WAL, audit.
 
     Tolerates a torn/partial tail record (dropped — those writes were
-    never acknowledged durable); any other damage to the checkpoint or
-    the log raises :class:`TamperDetectedError`.  ``db_kwargs``
-    configure the fresh :class:`SpitzDatabase` when no checkpoint
-    exists yet; a checkpoint carries its own configuration.
+    never acknowledged durable).  A checkpoint that fails its
+    integrity check is skipped in favor of the next older retained one
+    (the WAL keeps every record those fallbacks need — the skip is
+    recorded on the report, not silent); when *no* checkpoint loads,
+    or the WAL does not line up with the checkpoint it must continue
+    from (deleted leading segments, a wiped log), recovery raises
+    :class:`TamperDetectedError`.  ``db_kwargs`` configure the fresh
+    :class:`SpitzDatabase` when no checkpoint exists yet; a checkpoint
+    carries its own configuration.
     """
     root = Path(root)
     if not root.is_dir():
         raise StorageError(f"no durable database directory at {root}")
-    checkpoint = latest_checkpoint(root)
-    if checkpoint is not None:
-        checkpoint_lsn, checkpoint_file = checkpoint
-        db = load_database(checkpoint_file)
-    else:
-        checkpoint_lsn, checkpoint_file = 0, None
+    db: Optional[SpitzDatabase] = None
+    checkpoint_lsn, checkpoint_file = 0, None
+    skipped: List[Path] = []
+    failures: List[str] = []
+    for candidate_lsn, candidate in reversed(list_checkpoints(root)):
+        try:
+            db = load_database(candidate)
+        except (StorageError, TamperDetectedError) as error:
+            skipped.append(candidate)
+            failures.append(f"{candidate.name}: {error}")
+            continue
+        checkpoint_lsn, checkpoint_file = candidate_lsn, candidate
+        break
+    if db is None:
+        if skipped:
+            raise TamperDetectedError(
+                "no checkpoint passes its integrity check: "
+                + "; ".join(failures)
+            )
         db = SpitzDatabase(**db_kwargs)
-    scan = scan_wal(root)
+    # Anchor the WAL to the checkpoint: it must begin at or below
+    # checkpoint_lsn + 1 and reach checkpoint_lsn, else committed
+    # history has been deleted out from under us.
+    scan = scan_wal(root, expected_first_lsn=checkpoint_lsn + 1)
     replayed = 0
     max_timestamp = 0
     for record in scan.records:
@@ -126,6 +156,7 @@ def recover(
         replayed=replayed,
         torn_tail_dropped=scan.torn_tail,
         last_lsn=max(scan.last_lsn, checkpoint_lsn),
+        skipped_checkpoints=skipped,
     )
 
 
@@ -175,7 +206,12 @@ class DurableDatabase:
         """Recover (or create) the database at ``root`` and attach a WAL."""
         Path(root).mkdir(parents=True, exist_ok=True)
         report = recover(root, **db_kwargs)
-        wal_kwargs = {"sync_every": sync_every}
+        # Seed appends past everything already durable (checkpoint or
+        # log, whichever is ahead) so LSNs never restart or collide.
+        wal_kwargs = {
+            "sync_every": sync_every,
+            "expected_first_lsn": report.checkpoint_lsn + 1,
+        }
         if segment_bytes is not None:
             wal_kwargs["segment_bytes"] = segment_bytes
         if io is not None:

@@ -103,6 +103,10 @@ class WalScan:
     last_valid_offset: int = SEGMENT_HEADER_SIZE
     #: LSN the next appended record must carry (1 for an empty log).
     next_lsn: int = 1
+    #: LSN span of the valid records in the last segment (both None
+    #: when the last segment holds no records).
+    last_segment_first_lsn: Optional[int] = None
+    last_segment_last_lsn: Optional[int] = None
 
     @property
     def last_lsn(self) -> int:
@@ -136,11 +140,32 @@ def scan_wal(
     LSN gap, damage followed by valid data) raises
     :class:`TamperDetectedError`: the log was modified at rest, not
     merely interrupted.
+
+    ``expected_first_lsn`` anchors the log to a checkpoint (recovery
+    passes ``checkpoint_lsn + 1``): the first segment may *start* at or
+    below that LSN — a crash between writing a checkpoint and
+    truncating the WAL legitimately leaves pre-checkpoint records — but
+    never above it, and the log must *reach* it.  A WAL that is empty
+    or starts/ends short of a checkpoint that says records existed has
+    lost segments: that is tampering, not a crash artifact.
     """
+    scan = _scan_segments(root, expected_first_lsn)
+    if expected_first_lsn is not None and scan.next_lsn < expected_first_lsn:
+        raise TamperDetectedError(
+            f"WAL under {root} ends at LSN {scan.next_lsn - 1} but its "
+            f"checkpoint covers LSN {expected_first_lsn - 1}: "
+            "post-checkpoint segments are missing or the log was wiped"
+        )
+    return scan
+
+
+def _scan_segments(
+    root: Union[str, Path], expected_first_lsn: Optional[int]
+) -> WalScan:
     scan = WalScan()
     segments = list_segments(root)
     previous_index: Optional[int] = None
-    next_lsn = expected_first_lsn
+    next_lsn: Optional[int] = None
     for position, (index, path) in enumerate(segments):
         is_last = position == len(segments) - 1
         if previous_index is not None and index != previous_index + 1:
@@ -150,6 +175,8 @@ def scan_wal(
         previous_index = index
         scan.last_segment = index
         scan.last_valid_offset = SEGMENT_HEADER_SIZE
+        scan.last_segment_first_lsn = None
+        scan.last_segment_last_lsn = None
         blob = path.read_bytes()
         if len(blob) < SEGMENT_HEADER_SIZE:
             if is_last:
@@ -170,6 +197,15 @@ def scan_wal(
             blob[len(SEGMENT_MAGIC) + 4:SEGMENT_HEADER_SIZE], "big"
         )
         if next_lsn is None:
+            if (
+                expected_first_lsn is not None
+                and base_lsn > expected_first_lsn
+            ):
+                raise TamperDetectedError(
+                    f"{path} base LSN {base_lsn} starts past the "
+                    f"checkpoint boundary {expected_first_lsn}: leading "
+                    "WAL segment(s) were deleted"
+                )
             next_lsn = base_lsn
         elif base_lsn != next_lsn:
             raise TamperDetectedError(
@@ -216,6 +252,9 @@ def scan_wal(
             next_lsn = lsn + 1
             scan.next_lsn = next_lsn
             scan.records.append(WalRecord(lsn, kind, data))
+            if scan.last_segment_first_lsn is None:
+                scan.last_segment_first_lsn = lsn
+            scan.last_segment_last_lsn = lsn
             offset = record_end
             scan.last_valid_offset = offset
     return scan
@@ -236,6 +275,7 @@ class WriteAheadLog:
         sync_every: int = 1,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         io: Optional[WalIO] = None,
+        expected_first_lsn: Optional[int] = None,
     ):
         if sync_every < 1:
             raise ValueError("sync_every must be positive")
@@ -250,8 +290,10 @@ class WriteAheadLog:
         self._handle: Optional[BinaryIO] = None
         #: index -> (first_lsn, last_lsn) for sealed segments.
         self._sealed: Dict[int, Tuple[int, int]] = {}
-        scan = scan_wal(self.root)
-        self._next_lsn = scan.next_lsn
+        scan = scan_wal(self.root, expected_first_lsn=expected_first_lsn)
+        # Never hand out an LSN a checkpoint already covers — a fresh
+        # log under an old checkpoint must continue, not restart at 1.
+        self._next_lsn = max(scan.next_lsn, expected_first_lsn or 1)
         self._segment_index = max(scan.last_segment, 0)
         if scan.last_segment >= 0:
             path = segment_path(self.root, scan.last_segment)
@@ -266,14 +308,10 @@ class WriteAheadLog:
             self._open_segment(self._segment_index, create=trim_to == 0)
         else:
             self._open_segment(0, create=True)
-        self._segment_first_lsn: Optional[int] = None
-        self._segment_last_lsn: Optional[int] = None
-        for record in scan.records:
-            # Rebuild the active segment's LSN span for truncation
-            # bookkeeping (sealed spans are recomputed on demand).
-            self._segment_last_lsn = record.lsn
-            if self._segment_first_lsn is None:
-                self._segment_first_lsn = record.lsn
+        # The active (last) segment's LSN span, for truncation
+        # bookkeeping; sealed segments' spans are recomputed on demand.
+        self._segment_first_lsn = scan.last_segment_first_lsn
+        self._segment_last_lsn = scan.last_segment_last_lsn
 
     # -- appending ---------------------------------------------------------
 

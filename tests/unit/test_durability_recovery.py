@@ -118,6 +118,33 @@ class TestCheckpoints:
         with pytest.raises(TamperDetectedError):
             recover(tmp_path)
 
+    def test_corrupt_newest_checkpoint_falls_back_to_older(self, tmp_path):
+        with DurableDatabase.open(tmp_path, checkpoint_keep=2) as ddb:
+            ddb.put(b"a", b"1")
+            lsn1, _path1 = ddb.checkpoint()
+            ddb.put(b"b", b"2")
+            lsn2, path2 = ddb.checkpoint()
+            ddb.put(b"c", b"3")
+        flip_byte(path2, path2.stat().st_size // 2)
+        report = recover(tmp_path)
+        # Fell back to the older checkpoint; the WAL it needs for
+        # replay was retained, so no committed write is lost.
+        assert report.checkpoint_lsn == lsn1
+        assert report.skipped_checkpoints == [path2]
+        assert "fell back past 1 corrupt checkpoint(s)" in report.describe()
+        assert report.db.get(b"a") == b"1"
+        assert report.db.get(b"b") == b"2"
+        assert report.db.get(b"c") == b"3"
+        assert report.db.verify_chain()
+
+    def test_keep_retains_older_checkpoints(self, tmp_path):
+        with DurableDatabase.open(tmp_path, checkpoint_keep=2) as ddb:
+            for i in range(5):
+                ddb.put(b"k%d" % i, b"v")
+                ddb.checkpoint()
+            # The newest plus `keep` older fallbacks survive pruning.
+            assert len(list_checkpoints(tmp_path)) == 3
+
 
 class TestCrashInjection:
     def test_drop_writes_after_k_recovers_prefix(self, tmp_path):
@@ -169,6 +196,55 @@ class TestCrashInjection:
             assert restored.get(b"k8") == b"v"
             assert restored.get(b"k9") is None
             assert restored.verify_chain()
+
+    def test_wiped_wal_after_checkpoint_detected(self, tmp_path):
+        with DurableDatabase.open(tmp_path) as ddb:
+            _populate(ddb)
+            ddb.checkpoint()
+            ddb.put(b"post", b"1")
+        for _index, path in list_segments(tmp_path):
+            path.unlink()
+        # Deleting the whole WAL must not recover "clean" at the
+        # checkpoint — committed post-checkpoint writes existed — and
+        # must not let a fresh log restart LSNs below the checkpoint.
+        with pytest.raises(TamperDetectedError):
+            recover(tmp_path)
+        with pytest.raises(TamperDetectedError):
+            DurableDatabase.open(tmp_path)
+
+    def test_deleted_leading_wal_segment_detected(self, tmp_path):
+        with DurableDatabase.open(tmp_path, segment_bytes=256) as ddb:
+            for i in range(10):
+                ddb.put(b"a%d" % i, b"v")
+            ddb.checkpoint()
+            for i in range(30):
+                ddb.put(b"b%d" % i, b"v")
+        segments = list_segments(tmp_path)
+        assert len(segments) >= 2
+        # Remove the first post-checkpoint segment: a middle chunk of
+        # committed history vanishes, which replay alone cannot see
+        # (re-created blocks chain onto the current tip).
+        segments[0][1].unlink()
+        with pytest.raises(TamperDetectedError):
+            recover(tmp_path)
+
+    def test_untruncated_wal_below_checkpoint_tolerated(self, tmp_path):
+        from repro.core.persistence import save_database
+        from repro.durability.checkpoint import checkpoint_path
+
+        # Simulate a crash between writing a checkpoint and truncating
+        # the WAL: the checkpoint exists, the full log remains.
+        with DurableDatabase.open(tmp_path) as ddb:
+            _populate(ddb)
+            ddb.sync()
+            lsn = ddb.wal.last_lsn
+            save_database(ddb.db, checkpoint_path(tmp_path, lsn))
+            ddb.put(b"post", b"1")
+        report = recover(tmp_path)
+        assert report.checkpoint_lsn == lsn
+        assert report.replayed == 1  # pre-checkpoint records skipped
+        assert report.db.get(b"post") == b"1"
+        assert report.db.verify_chain()
 
     def test_mid_log_corruption_never_loads_silently(self, tmp_path):
         from repro.durability.wal import SEGMENT_HEADER_SIZE
@@ -261,6 +337,22 @@ class TestDurableCluster:
             assert lsn > 0
         finally:
             revived.close()
+
+    def test_stop_alone_releases_wal_for_reopen(self, tmp_path):
+        root = str(tmp_path / "cluster.d")
+        cluster = SpitzCluster(nodes=1, durable_root=root)
+        cluster.start()
+        response = cluster.submit(
+            Request(RequestKind.PUT, {"key": b"k", "value": b"v"})
+        )
+        assert response.ok, response.error
+        cluster.stop()  # stop (without close) must release the handle
+        assert cluster.durable.wal._handle is None
+        revived = SpitzCluster(nodes=1, durable_root=root)
+        try:
+            assert revived.db.get(b"k") == b"v"
+        finally:
+            revived.stop()
 
     def test_non_durable_cluster_has_no_checkpoint(self):
         cluster = SpitzCluster(nodes=1)

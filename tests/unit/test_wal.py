@@ -15,6 +15,7 @@ from repro.durability.wal import (
     WriteAheadLog,
     list_segments,
     scan_wal,
+    scan_wal_segment,
     segment_path,
 )
 from repro.errors import TamperDetectedError
@@ -165,6 +166,44 @@ class TestTamperDetection:
         with pytest.raises(TamperDetectedError):
             scan_wal(tmp_path)
 
+    def test_expected_first_lsn_flags_missing_prefix(self, tmp_path):
+        # A log whose first segment starts past the anchor lost its
+        # leading segment(s).
+        wal = WriteAheadLog(tmp_path, segment_bytes=256)
+        _fill(wal, 40)
+        wal.truncate_through(20)
+        wal.close()
+        first_base = scan_wal(tmp_path).records[0].lsn
+        assert first_base > 1
+        with pytest.raises(TamperDetectedError):
+            scan_wal(tmp_path, expected_first_lsn=1)
+        # Anchored exactly at (or above) its own start, the scan is fine.
+        scan = scan_wal(tmp_path, expected_first_lsn=first_base)
+        assert scan.records[0].lsn == first_base
+
+    def test_expected_first_lsn_flags_wiped_log(self, tmp_path):
+        # An empty directory is fine for a fresh log (anchor 1) but
+        # tampering when an anchor says records existed.
+        assert scan_wal(tmp_path, expected_first_lsn=1).records == []
+        with pytest.raises(TamperDetectedError):
+            scan_wal(tmp_path, expected_first_lsn=5)
+
+    def test_expected_first_lsn_flags_short_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        _fill(wal, 3)
+        wal.close()
+        with pytest.raises(TamperDetectedError):
+            scan_wal(tmp_path, expected_first_lsn=10)
+
+    def test_expected_first_lsn_tolerates_lower_start(self, tmp_path):
+        # Records below the anchor are legitimate (a crash between a
+        # checkpoint write and its WAL truncation leaves them behind).
+        wal = WriteAheadLog(tmp_path)
+        _fill(wal, 5)
+        wal.close()
+        scan = scan_wal(tmp_path, expected_first_lsn=4)
+        assert [r.lsn for r in scan.records] == [1, 2, 3, 4, 5]
+
 
 class TestSegmentsAndTruncation:
     def test_rotation_by_size(self, tmp_path):
@@ -197,6 +236,28 @@ class TestSegmentsAndTruncation:
         survivors = [r.lsn for r in scan_wal(tmp_path).records]
         # Every record above the truncation point survived.
         assert set(range(6, 31)) <= set(survivors)
+
+    def test_reopen_tracks_only_active_segment_span(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_bytes=256)
+        _fill(wal, 30)
+        wal.close()
+        wal = WriteAheadLog(tmp_path, segment_bytes=256)
+        last_index, last_path = list_segments(tmp_path)[-1]
+        records = scan_wal_segment(last_path, last_index)
+        # The span covers the last segment's records only — not every
+        # record in the log.
+        assert wal._segment_first_lsn == records[0].lsn
+        assert wal._segment_last_lsn == records[-1].lsn
+        wal.rotate()
+        assert wal._sealed[last_index] == (
+            records[0].lsn, records[-1].lsn,
+        )
+        # A truncation based on those spans deletes exactly the sealed
+        # segments and keeps appends consistent.
+        wal.truncate_through(wal.last_lsn)
+        _fill(wal, 1, start=100)
+        wal.close()
+        assert [r.lsn for r in scan_wal(tmp_path).records] == [31]
 
 
 class TestCrashyIO:
