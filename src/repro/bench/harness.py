@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import argparse
 import gc
+import json
 import os
 import time
+from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.baseline.ledger_db import BaselineLedgerDB
@@ -29,6 +31,7 @@ from repro.forkbase.store import ForkBase
 from repro.integration.nonintrusive import NonIntrusiveVDB
 from repro.kvstore.kvs import ImmutableKVS
 from repro.bench.metrics import FigureResult
+from repro.obs.metrics import MetricsRegistry, snapshot_delta
 from repro.workloads.generator import Operation, WorkloadGenerator
 from repro.workloads.wiki import WikiWorkload, naive_storage_bytes
 
@@ -112,8 +115,11 @@ def _load_kvs(gen: WorkloadGenerator) -> ImmutableKVS:
 SPITZ_BLOCK_BATCH = 128
 
 
-def _load_spitz(gen: WorkloadGenerator) -> SpitzDatabase:
-    db = SpitzDatabase(block_batch=SPITZ_BLOCK_BATCH)
+def _load_spitz(
+    gen: WorkloadGenerator,
+    metrics: Optional[MetricsRegistry] = None,
+) -> SpitzDatabase:
+    db = SpitzDatabase(block_batch=SPITZ_BLOCK_BATCH, metrics=metrics)
     for key, value in gen.records():
         db.put(key, value)
     db.flush_ledger()
@@ -139,7 +145,9 @@ def _load_nonintrusive(gen: WorkloadGenerator) -> NonIntrusiveVDB:
 # ---------------------------------------------------------------------------
 
 def fig6_read(
-    sizes: Optional[List[int]] = None, seed: int = 1
+    sizes: Optional[List[int]] = None,
+    seed: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FigureResult:
     sizes = sizes if sizes is not None else sizes_for(DEFAULT_SCALE)
     result = FigureResult(
@@ -151,13 +159,13 @@ def fig6_read(
     for n in sizes:
         gen = WorkloadGenerator(n, seed=seed)
         kvs = _load_kvs(gen)
-        spitz = _load_spitz(gen)
+        spitz = _load_spitz(gen, metrics)
         base = _load_baseline(gen)
         _settle_gc()
 
         read_ops = list(gen.reads(OPS_DEFAULT))
         verify_ops = read_ops[:OPS_BASELINE_VERIFY]
-        verifier = ClientVerifier()
+        verifier = ClientVerifier(metrics=metrics)
         verifier.trust(spitz.digest())
 
         result.series_named("Immutable KVS").add(
@@ -219,7 +227,9 @@ def _throughput_over(
 # ---------------------------------------------------------------------------
 
 def fig6_write(
-    sizes: Optional[List[int]] = None, seed: int = 1
+    sizes: Optional[List[int]] = None,
+    seed: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FigureResult:
     sizes = sizes if sizes is not None else sizes_for(DEFAULT_SCALE)
     result = FigureResult(
@@ -231,12 +241,12 @@ def fig6_write(
     for n in sizes:
         gen = WorkloadGenerator(n, seed=seed)
         kvs = _load_kvs(gen)
-        spitz = _load_spitz(gen)
+        spitz = _load_spitz(gen, metrics)
         base = _load_baseline(gen)
         _settle_gc()
 
         writes = list(gen.writes(OPS_WRITE))
-        verifier = ClientVerifier()
+        verifier = ClientVerifier(metrics=metrics)
         verifier.trust(spitz.digest())
 
         result.series_named("Immutable KVS").add(
@@ -303,6 +313,7 @@ def fig7_range(
     sizes: Optional[List[int]] = None,
     seed: int = 1,
     selectivity: float = 0.001,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FigureResult:
     sizes = sizes if sizes is not None else sizes_for(DEFAULT_SCALE)
     result = FigureResult(
@@ -314,13 +325,13 @@ def fig7_range(
     for n in sizes:
         gen = WorkloadGenerator(n, seed=seed)
         kvs = _load_kvs(gen)
-        spitz = _load_spitz(gen)
+        spitz = _load_spitz(gen, metrics)
         base = _load_baseline(gen)
         _settle_gc()
 
         scans = list(gen.range_scans(OPS_SCAN, selectivity))
         slow_scans = scans[:OPS_BASELINE_VERIFY_SCAN]
-        verifier = ClientVerifier()
+        verifier = ClientVerifier(metrics=metrics)
         verifier.trust(spitz.digest())
 
         result.series_named("Immutable KVS").add(
@@ -378,7 +389,9 @@ def _baseline_verified_scan(base, root, low: bytes, high: bytes):
 # ---------------------------------------------------------------------------
 
 def fig8_nonintrusive(
-    sizes: Optional[List[int]] = None, seed: int = 1
+    sizes: Optional[List[int]] = None,
+    seed: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[FigureResult, FigureResult]:
     """Returns (read figure 8a, write figure 8b)."""
     sizes = sizes if sizes is not None else sizes_for(DEFAULT_SCALE)
@@ -396,13 +409,13 @@ def fig8_nonintrusive(
     )
     for n in sizes:
         gen = WorkloadGenerator(n, seed=seed)
-        spitz = _load_spitz(gen)
+        spitz = _load_spitz(gen, metrics)
         noni = _load_nonintrusive(gen)
         _settle_gc()
 
         reads = list(gen.reads(OPS_DEFAULT))
         writes = list(gen.writes(OPS_WRITE))
-        verifier = ClientVerifier()
+        verifier = ClientVerifier(metrics=metrics)
         verifier.trust(spitz.digest())
         ni_verifier = ClientVerifier()
         ni_verifier.trust(noni.digest())
@@ -482,11 +495,13 @@ def _nonintrusive_verified_write(noni, verifier, key: bytes, value: bytes):
 # ---------------------------------------------------------------------------
 
 _RUNNERS = {
-    "1": lambda sizes: [fig1_storage()],
-    "6a": lambda sizes: [fig6_read(sizes)],
-    "6b": lambda sizes: [fig6_write(sizes)],
-    "7": lambda sizes: [fig7_range(sizes)],
-    "8": lambda sizes: list(fig8_nonintrusive(sizes)),
+    "1": lambda sizes, metrics=None: [fig1_storage()],
+    "6a": lambda sizes, metrics=None: [fig6_read(sizes, metrics=metrics)],
+    "6b": lambda sizes, metrics=None: [fig6_write(sizes, metrics=metrics)],
+    "7": lambda sizes, metrics=None: [fig7_range(sizes, metrics=metrics)],
+    "8": lambda sizes, metrics=None: list(
+        fig8_nonintrusive(sizes, metrics=metrics)
+    ),
 }
 
 
@@ -500,16 +515,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--ladder", default=",".join(str(step) for step in LADDER),
         help="comma-separated multipliers of --scale",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write figures + the shared metrics snapshot as JSON",
+    )
     args = parser.parse_args(argv)
     ladder = [int(part) for part in args.ladder.split(",")]
     sizes = sizes_for(args.scale, ladder)
     figures = (
         sorted(_RUNNERS) if args.figure == "all" else [args.figure]
     )
+    registry = MetricsRegistry()
+    entries: List[dict] = []
     for figure in figures:
-        for result in _RUNNERS[figure](sizes):
+        before = registry.snapshot()
+        results = _RUNNERS[figure](sizes, registry)
+        delta = snapshot_delta(before, registry.snapshot())
+        for result in results:
             print(result.format_table())
             print()
+            entry = result.to_dict()
+            entry["metrics_delta"] = delta
+            entries.append(entry)
+    if args.json is not None:
+        report = {
+            "scale": args.scale,
+            "sizes": sizes,
+            "figures": entries,
+            "metrics": registry.snapshot(),
+        }
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -75,6 +75,21 @@ class FigureResult:
             lines.append(row)
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (x keys become strings for JSON objects)."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": {
+                series.name: {
+                    str(x): y for x, y in sorted(series.points.items())
+                }
+                for series in self.series
+            },
+        }
+
     def ratio(self, numerator: str, denominator: str, x: int) -> float:
         """Convenience for shape assertions in tests/EXPERIMENTS.md."""
         top = self.series_named(numerator).points[x]

@@ -21,6 +21,9 @@ on-disk layouts are supported, chosen by what ``DB`` points at:
     python -m repro.cli recover mydb.d
     python -m repro.cli audit mydb.d
     python -m repro.cli digest mydb.d
+    python -m repro.cli stats mydb.d
+
+(Installed as the ``spitz`` console script: ``spitz stats mydb.d``.)
 
 Exit codes: 0 success, 1 operational error, 2 failed verification or
 audit findings, 3 **tamper detected** — scripted audits can tell "the
@@ -30,6 +33,7 @@ data was modified at rest" apart from "the tool hit an error".
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -193,6 +197,20 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Print the database's metrics snapshot as JSON.
+
+    The same payload a running cluster serves for a
+    ``RequestKind.STATS`` request — here it covers whatever the open
+    itself did (recovery replay, WAL fsyncs, chunk dedup state), which
+    is what an operator inspecting a database at rest cares about.
+    """
+    with _Session(args.db) as session:
+        print(json.dumps(session.db.metrics_snapshot(), indent=2,
+                         sort_keys=True))
+    return 0
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     with _Session(args.db) as session:
         if session.durable is None:
@@ -272,6 +290,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("audit", help="full-chain consistency audit")
     p.add_argument("db")
     p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser(
+        "stats",
+        help="print the metrics snapshot (counters/gauges/histograms) as JSON",
+    )
+    p.add_argument("db")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
         "checkpoint",

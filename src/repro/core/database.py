@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 from repro.crypto.hashing import Digest
 from repro.errors import QueryError, SchemaError
 from repro.forkbase.chunk_store import ChunkStore
+from repro.obs.metrics import MetricsRegistry
 from repro.indexes.bplus import BPlusTree
 from repro.indexes.inverted import InvertedIndex
 from repro.indexes.siri import DELETE
@@ -76,11 +77,20 @@ class SpitzDatabase:
         ledger_only: bool = False,
         certifier: Optional[object] = None,
         block_batch: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if block_batch < 1:
             raise ValueError("block_batch must be positive")
+        # One registry serves the whole instance (storage + control
+        # layers share it; the cluster and the WAL attach to it too).
+        # Pass ``repro.obs.NULL_REGISTRY`` to run uninstrumented.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._c_commits = self.metrics.counter("db.commits")
+        self._c_writes_folded = self.metrics.counter("db.writes_folded")
         self.chunks = ChunkStore()
-        self.ledger = SpitzLedger(self.chunks, mask_bits)
+        self.ledger = SpitzLedger(
+            self.chunks, mask_bits, metrics=self.metrics
+        )
         self.ledger_only = ledger_only
         self.cells = CellStore(self.chunks)
         self.primary = BPlusTree()
@@ -173,6 +183,8 @@ class SpitzDatabase:
             timestamp if timestamp is not None
             else self.oracle.next_timestamp()
         )
+        self._c_commits.inc()
+        self._c_writes_folded.inc(len(writes))
         if not self.ledger_only:
             for logical_key, value in writes.items():
                 column, primary_key = _parse_logical_key(logical_key)
@@ -370,6 +382,20 @@ class SpitzDatabase:
     def digest(self) -> LedgerDigest:
         self.flush_ledger()
         return self.ledger.digest()
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Refresh derived gauges and return the registry snapshot.
+
+        This is the *one* stats surface: ``RequestKind.STATS``, the
+        ``spitz stats`` CLI subcommand and the benchmark harness all
+        call it, so every exporter reports identical structure.
+        """
+        self.chunks.export_metrics(self.metrics)
+        self.metrics.gauge("ledger.height").set(self.ledger.height)
+        self.metrics.gauge("ledger.pending_writes").set(
+            len(self._pending_writes)
+        )
+        return self.metrics.snapshot()
 
     def verify_chain(self) -> bool:
         self.flush_ledger()

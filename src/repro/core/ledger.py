@@ -24,6 +24,7 @@ from repro.errors import CommitNotFoundError
 from repro.forkbase.chunk_store import ChunkStore
 from repro.indexes.pos_tree import PosTree
 from repro.indexes.siri import DELETE
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.core.proofs import BlockWitness, LedgerProof, LedgerRangeProof
 
 
@@ -88,9 +89,17 @@ class SpitzLedger:
     """Hash-chained blocks, each embedding a POS-tree index instance."""
 
     def __init__(
-        self, chunks: Optional[ChunkStore] = None, mask_bits: int = 3
+        self,
+        chunks: Optional[ChunkStore] = None,
+        mask_bits: int = 3,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.chunks = chunks if chunks is not None else ChunkStore()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_blocks_sealed = self.metrics.counter("ledger.blocks_sealed")
+        self._c_writes_sealed = self.metrics.counter("ledger.writes_sealed")
+        self._c_proofs_served = self.metrics.counter("ledger.proofs_served")
+        self._h_proof_bytes = self.metrics.histogram("ledger.proof_bytes")
         self._tree = PosTree.empty(self.chunks, mask_bits)
         self._chain = HashChain()
         self._blocks: List[Block] = []
@@ -146,6 +155,8 @@ class SpitzLedger:
         self._blocks.append(block)
         self._trees.append(self._tree)
         self._statements.append(tuple(statements))
+        self._c_blocks_sealed.inc()
+        self._c_writes_sealed.inc(len(writes))
         return block
 
     # -- reads -------------------------------------------------------------
@@ -184,7 +195,10 @@ class SpitzLedger:
         """Point read plus proof in one traversal (the unified index)."""
         block = self._require_block()
         value, siri = self._tree.get_with_proof(key)
-        return value, LedgerProof(siri=siri, block=block.witness())
+        proof = LedgerProof(siri=siri, block=block.witness())
+        self._c_proofs_served.inc()
+        self._h_proof_bytes.observe(proof.size_bytes)
+        return value, proof
 
     def scan(self, low: bytes, high: bytes) -> List[Tuple[bytes, bytes]]:
         return self._tree.scan(low, high)
@@ -195,9 +209,12 @@ class SpitzLedger:
         """Range scan plus one covering proof (Section 6.2.2)."""
         block = self._require_block()
         entries, range_proof = self._tree.scan_with_proof(low, high)
-        return entries, LedgerRangeProof(
+        proof = LedgerRangeProof(
             range_proof=range_proof, block=block.witness()
         )
+        self._c_proofs_served.inc()
+        self._h_proof_bytes.observe(proof.size_bytes)
+        return entries, proof
 
     def _require_block(self) -> Block:
         if not self._blocks:
@@ -222,21 +239,26 @@ class SpitzLedger:
         """Historical verified read: proof against block ``height``."""
         block = self.block(height)
         value, siri = self.tree_at(height).get_with_proof(key)
-        return value, LedgerProof(siri=siri, block=block.witness())
+        proof = LedgerProof(siri=siri, block=block.witness())
+        self._c_proofs_served.inc()
+        self._h_proof_bytes.observe(proof.size_bytes)
+        return value, proof
 
     def key_history(self, key: bytes) -> List[Tuple[int, Optional[bytes]]]:
         """(height, value) whenever ``key``'s value changed.
 
-        Walks the per-block index instances; absent/deleted states
-        appear as None.
+        Walks the per-block index instances; deletions appear as None.
+        A key that never existed has no changes — the result is empty,
+        not a phantom ``(0, None)`` entry.
         """
         changes: List[Tuple[int, Optional[bytes]]] = []
-        previous: Optional[bytes] = None
         for height, tree in enumerate(self._trees):
             value = tree.get(key)
-            if value != previous or not changes:
+            if changes:
+                if value != changes[-1][1]:
+                    changes.append((height, value))
+            elif value is not None:
                 changes.append((height, value))
-            previous = value
         return changes
 
     # -- audit ---------------------------------------------------------------

@@ -6,18 +6,31 @@ main components: a request handler, an auditor, and a transaction
 manager" (Section 5).  A master node coordinates (footnote 1); here
 the master is :class:`SpitzCluster`, which owns the shared storage
 layer and the queue and runs each processor in a thread.
+
+Request-loss discipline: every envelope that enters the queue is
+*always* completed — with a real response, an error response, or a
+``cluster stopped`` failure — so a client blocked on
+:meth:`SpitzCluster.submit` never waits out its timeout because of a
+server-side shutdown or crash.  Shutdown is orderly: the queue closes
+(new submissions fail fast with
+:class:`~repro.errors.ClusterStoppedError`), one poison pill per node
+unblocks the serve loops, and anything still queued is drained and
+failed explicitly.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.core.auditor import Auditor
 from repro.core.database import SpitzDatabase
 from repro.core.request_handler import Request, RequestHandler, Response
+from repro.errors import ClusterStoppedError
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass
@@ -27,31 +40,99 @@ class Envelope:
     request: Request
     response: Optional[Response] = None
     done: threading.Event = field(default_factory=threading.Event)
+    #: Set when the envelope enters the queue; the serving node
+    #: measures queue wait time against it.
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class _Poison:
+    """Shutdown marker: wakes a serve loop and tells it to exit."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<poison>"
+
+
+_POISON = _Poison()
 
 
 class MessageQueue:
-    """The global queue feeding the processor nodes."""
+    """The global queue feeding the processor nodes.
 
-    def __init__(self) -> None:
-        self._queue: "queue.Queue[Optional[Envelope]]" = queue.Queue()
+    ``close()`` rejects all later submissions; ``poison(n)`` enqueues
+    ``n`` shutdown markers (one per node) behind everything already
+    queued; ``drain()`` removes whatever is left so the cluster can
+    fail those envelopes instead of stranding their clients.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self._queue: "queue.Queue[Union[Envelope, _Poison]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
         self.submitted = 0
+        self.rejected = 0
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_submitted = self.metrics.counter("queue.submitted")
+        self._c_rejected = self.metrics.counter("queue.rejected")
+        self._g_depth = self.metrics.gauge("queue.depth")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def submit(self, request: Request) -> Envelope:
         envelope = Envelope(request=request)
-        self._queue.put(envelope)
-        self.submitted += 1
+        with self._lock:
+            if self._closed:
+                self.rejected += 1
+                self._c_rejected.inc()
+                raise ClusterStoppedError(
+                    "message queue is closed: the cluster is stopping"
+                )
+            self._queue.put(envelope)
+            self.submitted += 1
+        self._c_submitted.inc()
+        self._g_depth.set(self._queue.qsize())
         return envelope
 
-    def take(self, timeout: Optional[float] = None) -> Optional[Envelope]:
+    def take(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Union[Envelope, _Poison]]:
         try:
-            return self._queue.get(timeout=timeout)
+            item = self._queue.get(timeout=timeout)
         except queue.Empty:
             return None
+        self._g_depth.set(self._queue.qsize())
+        return item
+
+    def close(self) -> None:
+        """Reject every submission from now on (idempotent)."""
+        with self._lock:
+            self._closed = True
 
     def poison(self, count: int) -> None:
-        """Enqueue shutdown markers, one per node."""
+        """Enqueue shutdown markers, one per node.
+
+        Poison bypasses the closed check: it is enqueued *after*
+        :meth:`close`, behind every accepted envelope, so nodes finish
+        real work first and then exit.
+        """
         for _ in range(count):
-            self._queue.put(None)
+            self._queue.put(_POISON)
+
+    def drain(self) -> List[Envelope]:
+        """Remove and return every queued envelope (skips poison)."""
+        stranded: List[Envelope] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if not isinstance(item, _Poison):
+                stranded.append(item)
+        self._g_depth.set(self._queue.qsize())
+        return stranded
 
 
 class ProcessorNode:
@@ -72,16 +153,27 @@ class ProcessorNode:
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self.processed = 0
+        self._metrics = db.metrics
+        self._c_processed = self._metrics.counter("node.processed")
+        self._h_queue_wait = self._metrics.histogram("queue.wait_seconds")
 
     def serve_one(self, timeout: float = 0.1) -> bool:
         """Process one queued request; True if one was handled."""
         envelope = self._mq.take(timeout=timeout)
-        if envelope is None:
+        if envelope is None or isinstance(envelope, _Poison):
             return False
-        envelope.response = self.handler.handle(envelope.request)
-        self.processed += 1
-        envelope.done.set()
+        self._handle_envelope(envelope)
         return True
+
+    def _handle_envelope(self, envelope: Envelope) -> None:
+        self._h_queue_wait.observe(
+            time.perf_counter() - envelope.enqueued_at
+        )
+        with self._metrics.tracer.span("node.serve"):
+            envelope.response = self.handler.handle(envelope.request)
+        self.processed += 1
+        self._c_processed.inc()
+        envelope.done.set()
 
     def start(self) -> None:
         """Run the serve loop in a daemon thread."""
@@ -93,15 +185,19 @@ class ProcessorNode:
         self._thread.start()
 
     def _serve_loop(self) -> None:
-        while not self._stop.is_set():
+        # The stop event only exits the loop when the queue is idle;
+        # a poison pill exits unconditionally.  Envelopes accepted
+        # before shutdown sit ahead of the poison, so they are always
+        # processed rather than failed by the cluster's drain.
+        while True:
             envelope = self._mq.take(timeout=0.05)
             if envelope is None:
-                if self._mq.submitted and self._stop.is_set():
+                if self._stop.is_set():
                     break
                 continue
-            envelope.response = self.handler.handle(envelope.request)
-            self.processed += 1
-            envelope.done.set()
+            if isinstance(envelope, _Poison):
+                break
+            self._handle_envelope(envelope)
 
     def stop(self) -> None:
         self._stop.set()
@@ -128,6 +224,7 @@ class SpitzCluster:
         mask_bits: int = 5,
         durable_root: Optional[str] = None,
         sync_every: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if nodes < 1:
             raise ValueError("need at least one processor node")
@@ -136,13 +233,17 @@ class SpitzCluster:
             from repro.durability import DurableDatabase
 
             self.durable: Optional[DurableDatabase] = DurableDatabase.open(
-                durable_root, sync_every=sync_every, mask_bits=mask_bits
+                durable_root,
+                sync_every=sync_every,
+                mask_bits=mask_bits,
+                metrics=metrics,
             )
             self.db = self.durable.db
         else:
             self.durable = None
-            self.db = SpitzDatabase(mask_bits=mask_bits)
-        self.queue = MessageQueue()
+            self.db = SpitzDatabase(mask_bits=mask_bits, metrics=metrics)
+        self.metrics = self.db.metrics
+        self.queue = MessageQueue(metrics=self.metrics)
         self.nodes: List[ProcessorNode] = [
             ProcessorNode(f"p{i}", self.db, self.queue)
             for i in range(nodes)
@@ -159,15 +260,32 @@ class SpitzCluster:
             node.start()
 
     def stop(self) -> None:
-        """Stop the nodes; in durable mode, sync and release the WAL.
+        """Stop the nodes; drain-or-fail everything still queued.
 
-        Idempotent, and identical to :meth:`close` — closing the
-        durable database here keeps the single-writer discipline:
-        callers that only ever call ``stop()`` do not leak the WAL
-        handle or hold the directory against a reopen.
+        Sequence: close the queue (new submissions now raise
+        :class:`ClusterStoppedError`), poison one pill per node so the
+        serve loops process every already-accepted envelope and then
+        exit, join the threads, and fail whatever is left in the queue
+        (e.g. when the nodes were never started or died) so no client
+        blocks until its submit timeout.  In durable mode the WAL is
+        then synced and closed.  Idempotent, and identical to
+        :meth:`close`.
         """
+        self.queue.close()
+        self.queue.poison(len(self.nodes))
         for node in self.nodes:
             node.stop()
+        stranded = self.queue.drain()
+        for envelope in stranded:
+            envelope.response = Response(
+                ok=False,
+                error="cluster stopped before the request was processed",
+            )
+            envelope.done.set()
+        if stranded:
+            self.metrics.counter("cluster.failed_on_stop").inc(
+                len(stranded)
+            )
         if self.durable is not None:
             self.durable.close()
 
@@ -182,3 +300,8 @@ class SpitzCluster:
             raise TimeoutError("no processor node answered in time")
         assert envelope.response is not None
         return envelope.response
+
+    def stats(self) -> dict:
+        """The shared registry's snapshot (same payload as a
+        ``RequestKind.STATS`` request answered by any node)."""
+        return self.db.metrics_snapshot()

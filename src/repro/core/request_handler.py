@@ -9,6 +9,7 @@ network layer (:mod:`repro.integration.simnet`) can serialize them.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -25,6 +26,9 @@ class RequestKind(enum.Enum):
     SQL = "sql"
     HISTORY = "history"
     DIGEST = "digest"
+    #: Metrics snapshot of the shared storage layer — answerable by
+    #: any processor node (they all share one registry).
+    STATS = "stats"
 
 
 @dataclass(frozen=True)
@@ -56,16 +60,47 @@ class RequestHandler:
 
     def __init__(self, db: SpitzDatabase):
         self._db = db
+        self._metrics = db.metrics
+        self._c_total = self._metrics.counter("requests.total")
+        self._c_errors = self._metrics.counter("requests.errors")
+        self._c_unexpected = self._metrics.counter(
+            "requests.unexpected_errors"
+        )
+        self._h_latency = self._metrics.histogram("request.latency_seconds")
         self.handled = 0
 
     def handle(self, request: Request) -> Response:
-        """Execute one request; exceptions become error responses."""
+        """Execute one request; *every* exception becomes an error
+        response.
+
+        Expected failures (:class:`SpitzError`) report their message;
+        anything else — e.g. a malformed payload raising ``KeyError``
+        — is converted too, so a bad request can never kill a
+        processor node's serve loop or leave its client waiting on an
+        envelope that will never complete.
+        """
         self.handled += 1
+        self._c_total.inc()
+        self._metrics.counter(f"requests.kind.{request.kind.value}").inc()
+        start = time.perf_counter()
         try:
             result, proof = self._dispatch(request)
+            digest = self._db.digest() if request.verify else None
         except SpitzError as error:
+            self._c_errors.inc()
             return Response(ok=False, error=str(error))
-        digest = self._db.digest() if request.verify else None
+        except Exception as error:
+            self._c_errors.inc()
+            self._c_unexpected.inc()
+            return Response(
+                ok=False,
+                error=(
+                    f"malformed or unprocessable request "
+                    f"({type(error).__name__}: {error})"
+                ),
+            )
+        finally:
+            self._h_latency.observe(time.perf_counter() - start)
         return Response(ok=True, result=result, proof=proof, digest=digest)
 
     def _dispatch(self, request: Request):
@@ -100,4 +135,6 @@ class RequestHandler:
             return self._db.history(payload["key"]), None
         if kind is RequestKind.DIGEST:
             return self._db.digest(), None
+        if kind is RequestKind.STATS:
+            return self._db.metrics_snapshot(), None
         raise QueryError(f"unsupported request kind {kind}")

@@ -15,6 +15,7 @@ from typing import Optional, Union
 from repro.errors import TamperDetectedError, VerificationError
 from repro.core.ledger import LedgerDigest
 from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.txn.batch import DeferredVerifier
 
 Proof = Union[LedgerProof, LedgerRangeProof]
@@ -26,9 +27,20 @@ class ClientVerifier:
     ``deferred`` switches Section 5.3's deferred scheme on: proofs are
     queued and checked in batches of ``batch_size``, trading detection
     latency for throughput (measured in ``bench_ablation_deferred``).
+
+    Counters (``checks``/``detections``/``cache_hits``/``cache_misses``)
+    are kept accurate in *both* modes: deferred checks — whether run by
+    an explicit :meth:`flush` or a batch-full auto-flush inside
+    :meth:`verify` — are accounted from the queue's own totals, so a
+    batch that fails mid-flush still registers its detection.
     """
 
-    def __init__(self, deferred: bool = False, batch_size: int = 32):
+    def __init__(
+        self,
+        deferred: bool = False,
+        batch_size: int = 32,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self._trusted: Optional[LedgerDigest] = None
         self._queue = DeferredVerifier(batch_size) if deferred else None
         # Content-addressed memoization across proofs: a node whose
@@ -38,8 +50,17 @@ class ClientVerifier:
         # cheap (they share the ledger index's upper levels).
         self._node_cache: dict = {}
         self._block_cache: set = set()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_checks = self.metrics.counter("verifier.checks")
+        self._c_detections = self.metrics.counter("verifier.detections")
+        self._c_cache_hits = self.metrics.counter("verifier.cache_hits")
+        self._c_cache_misses = self.metrics.counter(
+            "verifier.cache_misses"
+        )
         self.checks = 0
         self.detections = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def trusted_digest(self) -> Optional[LedgerDigest]:
@@ -59,7 +80,7 @@ class ClientVerifier:
         the old and new digests must itself be verified.
         """
         if self._trusted is not None and digest.height < self._trusted.height:
-            self.detections += 1
+            self._record_detection()
             raise TamperDetectedError(
                 f"ledger went backwards: trusted height "
                 f"{self._trusted.height}, offered {digest.height}"
@@ -83,10 +104,10 @@ class ClientVerifier:
                 "no trusted digest: call trust() first"
             )
         if digest.height < self._trusted.height:
-            self.detections += 1
+            self._record_detection()
             raise TamperDetectedError("ledger went backwards")
         if len(extension) != digest.height - self._trusted.height:
-            self.detections += 1
+            self._record_detection()
             raise TamperDetectedError(
                 f"extension has {len(extension)} blocks, expected "
                 f"{digest.height - self._trusted.height}"
@@ -94,7 +115,7 @@ class ClientVerifier:
         running = self._trusted.chain_digest
         for witness in extension:
             if witness.previous_chain_digest != running:
-                self.detections += 1
+                self._record_detection()
                 raise TamperDetectedError(
                     f"extension breaks at block #{witness.height}: "
                     "does not chain from the trusted digest"
@@ -108,18 +129,18 @@ class ClientVerifier:
             )
             running = chain_digest_of(running, block_digest)
             if witness.chain_digest != running:
-                self.detections += 1
+                self._record_detection()
                 raise TamperDetectedError(
                     f"extension block #{witness.height} has an "
                     "inconsistent chain digest"
                 )
         if running != digest.chain_digest:
-            self.detections += 1
+            self._record_detection()
             raise TamperDetectedError(
                 "extension does not reach the offered digest"
             )
         if extension and extension[-1].tree_root != digest.tree_root:
-            self.detections += 1
+            self._record_detection()
             raise TamperDetectedError(
                 "offered digest's index root does not match the last "
                 "extension block"
@@ -141,19 +162,24 @@ class ClientVerifier:
             )
         trusted_chain = self._trusted.chain_digest
         if self._queue is not None:
-            self._queue.submit(
-                label=self._label(proof),
-                check=lambda: proof.verify(
-                    trusted_chain, self._node_cache, self._block_cache
-                ),
+            self._run_deferred(
+                lambda: self._queue.submit(
+                    label=self._label(proof),
+                    check=lambda: proof.verify(
+                        trusted_chain, self._node_cache, self._block_cache
+                    ),
+                )
             )
             return True
         self.checks += 1
+        self._c_checks.inc()
+        nodes_before = len(self._node_cache)
         ok = proof.verify(
             trusted_chain, self._node_cache, self._block_cache
         )
+        self._account_cache(proof, nodes_before)
         if not ok:
-            self.detections += 1
+            self._record_detection()
         return ok
 
     def verify_or_raise(self, proof: Proof) -> None:
@@ -166,12 +192,57 @@ class ClientVerifier:
     def flush(self) -> None:
         """Run queued deferred checks (no-op in online mode)."""
         if self._queue is not None:
-            self.checks += self._queue.pending
-            self._queue.flush()
+            self._run_deferred(self._queue.flush)
 
     @property
     def pending(self) -> int:
         return self._queue.pending if self._queue is not None else 0
+
+    # -- counter plumbing -----------------------------------------------------
+
+    def _record_detection(self, n: int = 1) -> None:
+        self.detections += n
+        self._c_detections.inc(n)
+
+    def _run_deferred(self, operation):
+        """Run a queue operation, syncing counters from its totals.
+
+        Both :meth:`flush` and a batch-full auto-flush inside
+        ``submit`` funnel through here, so ``checks``/``detections``
+        stay accurate no matter which path executed the batch — and
+        stay accurate even when the batch raises
+        :class:`TamperDetectedError` mid-flush (the bug this replaced:
+        ``detections`` was never incremented on a failed deferred
+        flush).  In raise mode the failing check stays queued (not
+        counted in ``verified``) but it *did* run, so the recorded
+        failure counts toward ``checks`` as well.
+        """
+        assert self._queue is not None
+        before_verified = self._queue.verified
+        before_failures = len(self._queue.failures)
+        try:
+            return operation()
+        finally:
+            verified = self._queue.verified - before_verified
+            failures = len(self._queue.failures) - before_failures
+            self.checks += verified + failures
+            self._c_checks.inc(verified + failures)
+            if failures:
+                self._record_detection(failures)
+
+    def _account_cache(self, proof: Proof, nodes_before: int) -> None:
+        """Attribute one proof's nodes to cache hits vs misses."""
+        nodes = (
+            proof.siri.nodes
+            if isinstance(proof, LedgerProof)
+            else proof.range_proof.nodes
+        )
+        misses = len(self._node_cache) - nodes_before
+        hits = max(len(nodes) - misses, 0)
+        self.cache_hits += hits
+        self.cache_misses += misses
+        self._c_cache_hits.inc(hits)
+        self._c_cache_misses.inc(misses)
 
     @staticmethod
     def _label(proof: Proof) -> str:

@@ -211,6 +211,9 @@ class DurableDatabase:
         wal_kwargs = {
             "sync_every": sync_every,
             "expected_first_lsn": report.checkpoint_lsn + 1,
+            # The WAL reports fsync counts/latency into the database's
+            # registry so one snapshot covers both layers.
+            "metrics": report.db.metrics,
         }
         if segment_bytes is not None:
             wal_kwargs["segment_bytes"] = segment_bytes

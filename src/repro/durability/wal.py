@@ -31,12 +31,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
 from repro.errors import StorageError, TamperDetectedError
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 SEGMENT_MAGIC = b"SPITZWAL"
 #: Header: magic + segment index (4, BE) + base LSN (8, BE).  The base
@@ -276,6 +278,7 @@ class WriteAheadLog:
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         io: Optional[WalIO] = None,
         expected_first_lsn: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if sync_every < 1:
             raise ValueError("sync_every must be positive")
@@ -284,6 +287,10 @@ class WriteAheadLog:
         self.sync_every = sync_every
         self.segment_bytes = segment_bytes
         self.io = io if io is not None else WalIO()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_appends = self.metrics.counter("wal.appends")
+        self._c_fsyncs = self.metrics.counter("wal.fsyncs")
+        self._h_fsync = self.metrics.histogram("wal.fsync_seconds")
         self.synced_records = 0
         self.fsync_count = 0
         self._unsynced = 0
@@ -349,6 +356,7 @@ class WriteAheadLog:
             self._segment_first_lsn = record.lsn
         self._segment_last_lsn = record.lsn
         self._unsynced += 1
+        self._c_appends.inc()
         if self._unsynced >= self.sync_every:
             self.sync()
         return record
@@ -359,7 +367,10 @@ class WriteAheadLog:
             return
         if self._unsynced == 0:
             return
+        start = time.perf_counter()
         self.io.fsync(self._handle)
+        self._h_fsync.observe(time.perf_counter() - start)
+        self._c_fsyncs.inc()
         self.fsync_count += 1
         self.synced_records += self._unsynced
         self._unsynced = 0

@@ -122,6 +122,16 @@ class SchemaError(QueryError):
     """A statement referenced a missing table/column or violated a schema."""
 
 
+class ClusterStoppedError(SpitzError):
+    """A request was submitted to a cluster that is shutting down.
+
+    Raised synchronously by :meth:`~repro.core.node.MessageQueue.submit`
+    once the queue is closed — the alternative (accepting the envelope
+    and letting the client block until its timeout) is exactly the
+    request-loss bug this error exists to prevent.
+    """
+
+
 class IntegrationError(SpitzError):
     """A failure in the non-intrusive / intrusive integration layer."""
 

@@ -149,3 +149,29 @@ class ChunkStore:
     def addresses(self) -> Iterator[Digest]:
         """Iterate over all stored content addresses."""
         return iter(self._entries.keys())
+
+    def export_metrics(self, registry) -> None:
+        """Publish dedup accounting into a metrics registry.
+
+        Derived from :class:`StoreStats` at snapshot time rather than
+        instrumenting :meth:`put`/:meth:`get` per call — the chunk
+        store sits under every index-node write and read, so per-op
+        registry traffic here would be the single hottest metric site
+        in the system.  ``chunks.dedup_hits`` counts puts whose content
+        was already resident (the ForkBase node-reuse figure).
+        """
+        stats = self.stats
+        registry.gauge("chunks.puts").set(stats.puts)
+        registry.gauge("chunks.gets").set(stats.gets)
+        registry.gauge("chunks.unique").set(stats.unique_chunks)
+        registry.gauge("chunks.dedup_hits").set(
+            stats.puts - stats.unique_chunks
+        )
+        registry.gauge("chunks.dedup_hit_rate").set(
+            (stats.puts - stats.unique_chunks) / stats.puts
+            if stats.puts
+            else 0.0
+        )
+        registry.gauge("chunks.logical_bytes").set(stats.logical_bytes)
+        registry.gauge("chunks.physical_bytes").set(stats.physical_bytes)
+        registry.gauge("chunks.dedup_ratio").set(stats.dedup_ratio)

@@ -1,0 +1,29 @@
+"""Observability layer: metrics registry and tracing spans.
+
+The cluster-wide measurement substrate (see DESIGN.md, "Observability
+layer").  Everything here is dependency-free and picklable; the same
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` structure is
+served by ``RequestKind.STATS``, the ``spitz stats`` CLI subcommand,
+and the benchmark harness's ``--json`` output.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    snapshot_delta,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "Tracer",
+    "snapshot_delta",
+]

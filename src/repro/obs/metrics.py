@@ -1,0 +1,328 @@
+"""Dependency-free metrics: counters, gauges, log-bucketed histograms.
+
+Section 6 of the paper evaluates Spitz entirely through latency,
+throughput and proof-size measurements; ForkBase (PVLDB'18) quantifies
+its claims through per-operation counters (dedup ratios, node reuse).
+This module is the reproduction's measurement substrate: every layer
+holds a :class:`MetricsRegistry` and records into it, and the same
+snapshot is served three ways — a ``RequestKind.STATS`` request, the
+``spitz stats`` CLI subcommand, and the benchmark harness's JSON
+output.
+
+Design constraints, in order:
+
+1. **Zero dependencies** — stdlib only, like the rest of the repo.
+2. **Cheap on hot paths** — instruments are pre-bound objects (one
+   lock acquire + one arithmetic op per event); the raw storage-layer
+   point read is deliberately *not* instrumented per-operation, which
+   is what keeps ``bench_fig6_read`` overhead under the 5% budget
+   guarded in ``tests/integration/test_bench_shapes.py``.
+3. **Deterministic summaries** — histograms use fixed geometric
+   buckets (factor ``2**(1/4)``), so p50/p95/p99 are reproducible
+   functions of the observed values, never sampled.
+4. **Picklable** — databases are snapshotted with ``pickle``
+   (checkpoints, the legacy snapshot CLI), so the registry drops its
+   lock on ``__getstate__`` and re-creates it on ``__setstate__``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional
+
+#: Geometric bucket upper bounds: 2**(k/4) for k in [-120, 160] covers
+#: ~1e-9 (nanosecond latencies) through ~1e12 (giga-byte sizes) with
+#: ~19% relative resolution per bucket.
+_BUCKET_BOUNDS: List[float] = [2.0 ** (k / 4.0) for k in range(-120, 161)]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __getstate__(self):
+        return (self.name, self._value)
+
+    def __setstate__(self, state):
+        self.name, self._value = state
+        # Re-linked to the registry's shared lock by
+        # MetricsRegistry.__setstate__ right after unpickling.
+        self._lock = threading.Lock()
+
+
+class Gauge:
+    """A point-in-time value (queue depth, cache size, dedup ratio)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __getstate__(self):
+        return (self.name, self._value)
+
+    def __setstate__(self, state):
+        self.name, self._value = state
+        self._lock = threading.Lock()
+
+
+class Histogram:
+    """Fixed-bucket histogram with deterministic percentile summaries.
+
+    Values land in geometric buckets (see :data:`_BUCKET_BOUNDS`);
+    ``percentile(q)`` returns the upper bound of the bucket holding the
+    rank-``q`` observation, clamped to the exact observed min/max, so
+    two runs that observe the same values report the same p50/p95/p99.
+    """
+
+    __slots__ = ("name", "_lock", "_buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._lock = lock
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(_BUCKET_BOUNDS, value)
+        with self._lock:
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Deterministic rank-``q`` estimate (``q`` in (0, 1])."""
+        if self.count == 0:
+            return None
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                bound = (
+                    _BUCKET_BOUNDS[index]
+                    if index < len(_BUCKET_BOUNDS)
+                    else self.max
+                )
+                assert self.min is not None and self.max is not None
+                return min(max(bound, self.min), self.max)
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def __getstate__(self):
+        return (
+            self.name, self._buckets, self.count, self.total,
+            self.min, self.max,
+        )
+
+    def __setstate__(self, state):
+        (
+            self.name, self._buckets, self.count, self.total,
+            self.min, self.max,
+        ) = state
+        self._lock = threading.Lock()
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled registries."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> Optional[float]:
+        return None
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms behind one lock.
+
+    Instruments are created on first use and returned by reference, so
+    hot paths bind them once (``self._c_commits =
+    metrics.counter("db.commits")``) and pay one lock acquire per
+    event.  A registry built with ``enabled=False`` hands out shared
+    no-op instruments — the mechanism behind the "uninstrumented"
+    configuration the overhead guard test compares against.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        # Imported here: tracing builds on the registry's histograms.
+        from repro.obs.tracing import Tracer
+
+        self.tracer = Tracer(self)
+
+    # -- instrument factories (get-or-create) ---------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = Counter(name, self._lock)
+                self._counters[name] = instrument
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = Gauge(name, self._lock)
+                self._gauges[name] = instrument
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL_INSTRUMENT  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = Histogram(name, self._lock)
+                self._histograms[name] = instrument
+            return instrument
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """One JSON-serializable view of every instrument.
+
+        This exact structure is what ``RequestKind.STATS``, ``spitz
+        stats`` and the benchmark harness's JSON output all emit.
+        """
+        with self._lock:
+            counters = {
+                name: c._value for name, c in sorted(self._counters.items())
+            }
+            gauges = {
+                name: g._value for name, g in sorted(self._gauges.items())
+            }
+            histogram_refs = sorted(self._histograms.items())
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {
+                name: h.summary() for name, h in histogram_refs
+            },
+        }
+
+    # -- pickling (snapshots/checkpoints pickle whole databases) --------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        lock = threading.Lock()
+        self._lock = lock
+        for table in (self._counters, self._gauges, self._histograms):
+            for instrument in table.values():
+                instrument._lock = lock
+
+
+def snapshot_delta(
+    before: Dict[str, Dict[str, object]],
+    after: Dict[str, Dict[str, object]],
+) -> Dict[str, Dict[str, object]]:
+    """Counter/histogram-count deltas between two snapshots.
+
+    Gauges are point-in-time, so the *after* value is reported as-is.
+    The benchmark harness stores one delta per figure so a
+    ``BENCH_*.json`` run carries "what the system did" alongside "how
+    fast it went".
+    """
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        counters[name] = value - before.get("counters", {}).get(name, 0)
+    histograms = {}
+    for name, summary in after.get("histograms", {}).items():
+        previous = before.get("histograms", {}).get(name, {"count": 0})
+        histograms[name] = {
+            "count": summary.get("count", 0) - previous.get("count", 0),
+            "p50": summary.get("p50"),
+            "p95": summary.get("p95"),
+            "p99": summary.get("p99"),
+        }
+    return {
+        "counters": {k: v for k, v in counters.items() if v},
+        "gauges": dict(after.get("gauges", {})),
+        "histograms": {
+            k: v for k, v in histograms.items() if v["count"]
+        },
+    }
+
+
+#: Shared disabled registry: hand this to a component to opt out of
+#: instrumentation entirely (no-op instruments, empty snapshots).
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,92 @@
+"""Lightweight tracing spans over the metrics registry.
+
+A span times one named operation.  Completed spans do two things:
+
+1. feed the histogram ``span.<name>`` in the owning
+   :class:`~repro.obs.metrics.MetricsRegistry` (so p50/p95/p99 of any
+   traced operation appear in every metrics snapshot), and
+2. land in a small per-tracer ring buffer with their parent span, so a
+   test or an operator can see *request shapes* — e.g. that one
+   ``node.serve`` span contains a ``request.handle`` child which
+   contains a ``db.commit`` child.
+
+Nesting is tracked per thread (each processor node serves from its own
+thread), with no context propagation across threads — this is a
+single-process reproduction, not a distributed tracer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed traced operation."""
+
+    name: str
+    parent: Optional[str]
+    start: float
+    duration: float
+
+
+class Tracer:
+    """Records nested spans into a bounded ring buffer."""
+
+    def __init__(self, registry, capacity: int = 512):
+        self._registry = registry
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._active = threading.local()
+
+    @contextmanager
+    def span(self, name: str):
+        """Time one operation; records on exit even if it raises."""
+        stack = getattr(self._active, "stack", None)
+        if stack is None:
+            stack = self._active.stack = []
+        parent = stack[-1] if stack else None
+        stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            stack.pop()
+            self._registry.histogram(f"span.{name}").observe(duration)
+            if self._registry.enabled:
+                with self._lock:
+                    self._spans.append(
+                        Span(
+                            name=name,
+                            parent=parent,
+                            start=start,
+                            duration=duration,
+                        )
+                    )
+
+    def recent(self, name: Optional[str] = None) -> List[Span]:
+        """Most recent completed spans, oldest first."""
+        with self._lock:
+            spans = list(self._spans)
+        if name is not None:
+            spans = [span for span in spans if span.name == name]
+        return spans
+
+    # -- pickling -------------------------------------------------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_lock"]
+        del state["_active"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._active = threading.local()

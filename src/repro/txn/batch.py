@@ -65,12 +65,18 @@ class DeferredVerifier:
             label, check = self._pending[0]
             ok = check()
             if not ok:
+                # Record the failure *before* any raise so callers
+                # (e.g. ClientVerifier's detection counter) can account
+                # for it even when the flush aborts here.  In raise
+                # mode the failing check stays queued for audit; a
+                # re-flush that fails again records again (each failed
+                # attempt is its own detection event).
+                failed.append(label)
+                self.failures.append(label)
                 if self.on_failure == "raise":
                     raise TamperDetectedError(
                         f"deferred verification failed: {label}"
                     )
-                failed.append(label)
-                self.failures.append(label)
             self._pending.pop(0)
             self.verified += 1
         return failed

@@ -8,12 +8,17 @@ verification hurts — without pinning absolute numbers.
 import pytest
 
 from repro.bench.harness import (
+    _load_spitz,
+    _settle_gc,
+    _throughput_over,
     fig1_storage,
     fig6_read,
     fig6_write,
     fig7_range,
     fig8_nonintrusive,
 )
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.workloads.generator import WorkloadGenerator
 
 SIZES = [200, 800]
 
@@ -79,6 +84,42 @@ class TestFigure7Shapes:
         _r, _w, ranged, _f8r, _f8w = figures
         large = SIZES[-1]
         assert ranged.ratio("Spitz-verify", "Baseline-verify", large) > 2.0
+
+
+class TestInstrumentationOverhead:
+    def test_read_path_overhead_under_five_percent(self):
+        """The acceptance budget: instrumenting the registry must not
+        cost the ``bench_fig6_read`` measured path more than 5%.
+
+        The raw point read deliberately has no per-operation
+        instrumentation (commits and snapshots do), so the comparison
+        is between a live registry and the shared NULL registry on an
+        identical code path.  Best-of-N interleaved trials keep
+        scheduler noise out of the ratio.
+        """
+        gen = WorkloadGenerator(500, seed=3)
+        instrumented = _load_spitz(gen, MetricsRegistry())
+        plain = _load_spitz(gen, NULL_REGISTRY)
+        _settle_gc()
+        ops = list(gen.reads(2000))
+
+        def throughput(db):
+            return _throughput_over(ops, lambda op: db.get(op.key))
+
+        throughput(plain), throughput(instrumented)  # warm caches
+        best_plain = best_instrumented = 0.0
+        for _ in range(9):  # interleaved, so drift hits both equally
+            best_plain = max(best_plain, throughput(plain))
+            best_instrumented = max(
+                best_instrumented, throughput(instrumented)
+            )
+        assert best_instrumented >= best_plain * 0.95
+
+    def test_instrumented_bench_db_still_counts(self):
+        registry = MetricsRegistry()
+        _load_spitz(WorkloadGenerator(100, seed=3), registry)
+        snap = registry.snapshot()
+        assert snap["counters"]["db.writes_folded"] == 100
 
 
 class TestFigure8Shapes:

@@ -12,7 +12,7 @@ from repro.core.request_handler import (
     Response,
 )
 from repro.core.verifier import ClientVerifier
-from repro.errors import VerificationError
+from repro.errors import ClusterStoppedError, VerificationError
 from repro.indexes.siri import DELETE
 
 
@@ -127,6 +127,45 @@ class TestRequestHandler:
         response = handler.handle(Request(RequestKind.DIGEST))
         assert response.ok
 
+    def test_malformed_payload_becomes_error_response(self, db):
+        """Regression: a missing payload field used to raise KeyError
+        out of handle(), killing the serve loop."""
+        handler = RequestHandler(db)
+        response = handler.handle(Request(RequestKind.GET, {}))
+        assert not response.ok
+        assert "KeyError" in response.error
+        snap = db.metrics.snapshot()
+        assert snap["counters"]["requests.unexpected_errors"] == 1
+        assert snap["counters"]["requests.errors"] == 1
+
+    def test_expected_errors_are_not_counted_unexpected(self, db):
+        handler = RequestHandler(db)
+        response = handler.handle(
+            Request(RequestKind.SQL, {"text": "NOT SQL AT ALL"})
+        )
+        assert not response.ok
+        snap = db.metrics.snapshot()
+        assert snap["counters"]["requests.unexpected_errors"] == 0
+        assert snap["counters"]["requests.errors"] == 1
+
+    def test_stats_request_returns_registry_snapshot(self, db):
+        handler = RequestHandler(db)
+        handler.handle(Request(RequestKind.PUT, {"key": b"k", "value": b"v"}))
+        response = handler.handle(Request(RequestKind.STATS))
+        assert response.ok
+        snap = response.result
+        assert snap["counters"]["db.commits"] == 1
+        assert snap["counters"]["requests.kind.put"] == 1
+        assert snap["gauges"]["ledger.height"] == db.ledger.height
+
+    def test_request_latency_histogram_fills(self, db):
+        handler = RequestHandler(db)
+        for i in range(5):
+            handler.handle(
+                Request(RequestKind.PUT, {"key": b"k", "value": b"v"})
+            )
+        assert db.metrics.histogram("request.latency_seconds").count == 5
+
 
 class TestProcessorNodes:
     def test_serve_one(self, db):
@@ -181,3 +220,84 @@ class TestProcessorNodes:
             assert processed == 30
         finally:
             cluster.stop()
+
+    def test_malformed_request_does_not_kill_node(self):
+        """Regression: the serve loop survives a payload that raises
+        a non-Spitz exception, and keeps answering afterwards."""
+        cluster = SpitzCluster(nodes=1)
+        cluster.start()
+        try:
+            bad = cluster.submit(Request(RequestKind.PUT, {}), timeout=2.0)
+            assert not bad.ok
+            assert "KeyError" in bad.error
+            good = cluster.submit(
+                Request(RequestKind.PUT, {"key": b"k", "value": b"v"}),
+                timeout=2.0,
+            )
+            assert good.ok
+        finally:
+            cluster.stop()
+
+
+class TestShutdownDiscipline:
+    def test_stop_fails_queued_requests_instead_of_stranding(self):
+        """Regression: stop() used to leave queued envelopes pending
+        forever; their clients blocked out their full submit timeout."""
+        cluster = SpitzCluster(nodes=2)  # never started
+        envelopes = [
+            cluster.queue.submit(
+                Request(RequestKind.PUT, {"key": b"k", "value": b"v"})
+            )
+            for _ in range(5)
+        ]
+        cluster.stop()
+        for envelope in envelopes:
+            assert envelope.done.is_set()
+            assert not envelope.response.ok
+            assert "cluster stopped" in envelope.response.error
+        snap = cluster.stats()
+        assert snap["counters"]["cluster.failed_on_stop"] == 5
+
+    def test_submit_after_stop_raises(self):
+        cluster = SpitzCluster(nodes=1)
+        cluster.start()
+        cluster.stop()
+        with pytest.raises(ClusterStoppedError):
+            cluster.submit(
+                Request(RequestKind.PUT, {"key": b"k", "value": b"v"})
+            )
+        assert cluster.queue.rejected == 1
+
+    def test_accepted_work_finishes_before_shutdown(self):
+        """Envelopes accepted before stop() are processed, not failed:
+        poison lands behind them in the queue."""
+        cluster = SpitzCluster(nodes=1)
+        envelopes = [
+            cluster.queue.submit(
+                Request(
+                    RequestKind.PUT,
+                    {"key": f"k{i}".encode(), "value": b"v"},
+                )
+            )
+            for i in range(3)
+        ]
+        cluster.start()  # drains the backlog, then sees poison
+        cluster.stop()
+        for envelope in envelopes:
+            assert envelope.done.is_set()
+            assert envelope.response.ok
+
+    def test_stop_is_idempotent(self):
+        cluster = SpitzCluster(nodes=2)
+        cluster.start()
+        cluster.stop()
+        cluster.stop()
+        cluster.close()
+
+    def test_drain_skips_poison(self):
+        mq = MessageQueue()
+        envelope = mq.submit(Request(RequestKind.DIGEST))
+        mq.close()
+        mq.poison(3)
+        stranded = mq.drain()
+        assert stranded == [envelope]

@@ -120,6 +120,21 @@ class TestLedgerHistory:
         history = ledger.key_history(b"k")
         assert history == [(0, b"v1"), (2, b"v2"), (3, None)]
 
+    def test_key_history_of_absent_key_is_empty(self):
+        """Regression: a never-written key used to report a phantom
+        ``(0, None)`` change at the first block."""
+        ledger = SpitzLedger()
+        ledger.append_block({b"k": b"v1"})
+        ledger.append_block({b"k": b"v2"})
+        assert ledger.key_history(b"never-written") == []
+
+    def test_key_history_starts_at_first_write(self):
+        ledger = SpitzLedger()
+        ledger.append_block({b"other": b"x"})
+        ledger.append_block({b"other": b"y"})
+        ledger.append_block({b"k": b"v"})
+        assert ledger.key_history(b"k") == [(2, b"v")]
+
     def test_instances_share_nodes(self):
         ledger = SpitzLedger()
         ledger.append_block(

@@ -1,0 +1,183 @@
+"""Unit tests for the observability layer (metrics + tracing)."""
+
+import pickle
+import threading
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    snapshot_delta,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_holds_latest(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_histogram_summary_fields(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (0.001, 0.002, 0.004, 0.008):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.008
+        assert abs(summary["sum"] - 0.015) < 1e-12
+        assert summary["min"] <= summary["p50"] <= summary["max"]
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_histogram_percentiles_deterministic(self):
+        """Same observations => identical summaries, run after run."""
+        summaries = []
+        for _ in range(3):
+            registry = MetricsRegistry()
+            hist = registry.histogram("h")
+            for i in range(1, 101):
+                hist.observe(i / 1000.0)
+            summaries.append(hist.summary())
+        assert summaries[0] == summaries[1] == summaries[2]
+        # The bucket bound never strays more than one ~19% bucket from
+        # the exact rank statistic.
+        assert 0.040 <= summaries[0]["p50"] <= 0.062
+        assert 0.080 <= summaries[0]["p95"] <= 0.115
+
+    def test_histogram_single_observation_is_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.observe(0.25)
+        summary = hist.summary()
+        assert summary["p50"] == summary["p99"] == 0.25
+
+    def test_empty_histogram(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        assert hist.percentile(0.5) is None
+        assert hist.summary() == {"count": 0}
+
+
+class TestRegistry:
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(7)
+        registry.histogram("c").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"b": 7.0}
+        assert snap["histograms"]["c"]["count"] == 1
+
+    def test_snapshot_delta(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.histogram("h").observe(1.0)
+        before = registry.snapshot()
+        registry.counter("a").inc(3)
+        registry.counter("new").inc()
+        registry.histogram("h").observe(2.0)
+        delta = snapshot_delta(before, registry.snapshot())
+        assert delta["counters"] == {"a": 3, "new": 1}
+        assert delta["histograms"]["h"]["count"] == 1
+
+    def test_delta_drops_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        snap = registry.snapshot()
+        delta = snapshot_delta(snap, snap)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_disabled_registry_is_noop(self):
+        counter = NULL_REGISTRY.counter("whatever")
+        counter.inc(100)
+        assert counter.value == 0
+        NULL_REGISTRY.gauge("g").set(9)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        snap = NULL_REGISTRY.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_thread_safe_counting(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        hist = registry.histogram("h")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+        assert hist.count == 8000
+
+    def test_pickle_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(5)
+        registry.gauge("b").set(2.5)
+        registry.histogram("h").observe(0.5)
+        with registry.tracer.span("op"):
+            pass
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.snapshot()["counters"]["a"] == 5
+        assert clone.snapshot()["gauges"]["b"] == 2.5
+        # Instruments stay usable (locks recreated) after unpickling.
+        clone.counter("a").inc()
+        assert clone.counter("a").value == 6
+        with clone.tracer.span("op"):
+            pass
+        assert clone.histogram("span.op").count >= 1
+
+
+class TestTracer:
+    def test_span_records_histogram_and_buffer(self):
+        registry = MetricsRegistry()
+        with registry.tracer.span("outer"):
+            with registry.tracer.span("inner"):
+                pass
+        assert registry.histogram("span.outer").count == 1
+        assert registry.histogram("span.inner").count == 1
+        spans = registry.tracer.recent()
+        assert [span.name for span in spans] == ["inner", "outer"]
+        assert spans[0].parent == "outer"
+        assert spans[1].parent is None
+
+    def test_span_records_on_exception(self):
+        registry = MetricsRegistry()
+        try:
+            with registry.tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert registry.histogram("span.boom").count == 1
+
+    def test_recent_filter_and_capacity(self):
+        registry = MetricsRegistry()
+        tracer = registry.tracer
+        for _ in range(3):
+            with tracer.span("a"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert len(tracer.recent("a")) == 3
+        assert len(tracer.recent("b")) == 1

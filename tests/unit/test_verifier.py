@@ -104,6 +104,88 @@ class TestDeferredMode:
         with pytest.raises(TamperDetectedError):
             verifier.flush()
 
+    def test_deferred_flush_failure_counts_detection(self, loaded_db):
+        """Regression: ``detections`` was never incremented when a
+        deferred batch failed inside flush()."""
+        verifier = ClientVerifier(deferred=True, batch_size=100)
+        verifier.trust(loaded_db.digest())
+        for i in range(3):
+            _value, proof = loaded_db.get_verified(f"key{i:04d}".encode())
+            verifier.verify(proof)
+        _value, proof = loaded_db.get_verified(b"key0005")
+        forged = LedgerProof(
+            siri=SiriProof(
+                key=proof.siri.key, value=b"evil", nodes=proof.siri.nodes
+            ),
+            block=proof.block,
+        )
+        verifier.verify(forged)
+        assert verifier.detections == 0  # nothing has actually run yet
+        with pytest.raises(TamperDetectedError):
+            verifier.flush()
+        assert verifier.detections == 1
+        # 3 honest checks passed + 1 forged check ran and failed.
+        assert verifier.checks == 4
+
+    def test_deferred_autoflush_failure_counts_detection(self, loaded_db):
+        """The batch-full auto-flush inside verify() accounts the same
+        way as an explicit flush()."""
+        verifier = ClientVerifier(deferred=True, batch_size=2)
+        verifier.trust(loaded_db.digest())
+        _value, proof = loaded_db.get_verified(b"key0001")
+        verifier.verify(proof)
+        forged = LedgerProof(
+            siri=SiriProof(
+                key=proof.siri.key, value=b"evil", nodes=proof.siri.nodes
+            ),
+            block=proof.block,
+        )
+        with pytest.raises(TamperDetectedError):
+            verifier.verify(forged)  # fills the batch -> auto-flush
+        assert verifier.detections == 1
+        assert verifier.checks == 2
+
+    def test_deferred_clean_flush_counts_checks(self, loaded_db):
+        verifier = ClientVerifier(deferred=True, batch_size=100)
+        verifier.trust(loaded_db.digest())
+        for i in range(5):
+            _value, proof = loaded_db.get_verified(f"key{i:04d}".encode())
+            verifier.verify(proof)
+        assert verifier.checks == 0
+        verifier.flush()
+        assert verifier.checks == 5
+        assert verifier.detections == 0
+
+    def test_counters_mirror_into_metrics_registry(self, loaded_db):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        verifier = ClientVerifier(metrics=registry)
+        verifier.trust(loaded_db.digest())
+        _value, proof = loaded_db.get_verified(b"key0001")
+        assert verifier.verify(proof)
+        snap = registry.snapshot()
+        assert snap["counters"]["verifier.checks"] == 1
+        assert snap["counters"]["verifier.detections"] == 0
+        # Every proof node is attributed to exactly one of hit/miss.
+        assert (
+            snap["counters"]["verifier.cache_hits"]
+            + snap["counters"]["verifier.cache_misses"]
+            == len(proof.siri.nodes)
+        )
+
+    def test_cache_hits_grow_on_repeat_verification(self, loaded_db):
+        verifier = ClientVerifier()
+        verifier.trust(loaded_db.digest())
+        _value, proof = loaded_db.get_verified(b"key0001")
+        verifier.verify(proof)
+        first_misses = verifier.cache_misses
+        assert first_misses > 0
+        verifier.verify(proof)
+        # Second pass over the same proof hits the node cache.
+        assert verifier.cache_misses == first_misses
+        assert verifier.cache_hits >= len(proof.siri.nodes)
+
 
 class TestVerifiedWriter:
     def test_batched_write_verification(self):
