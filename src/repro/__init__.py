@@ -32,6 +32,7 @@ from repro.integration.intrusive import IntrusiveVDB, migrate_kvs_to_spitz
 from repro.integration.nonintrusive import NonIntrusiveVDB
 from repro.kvstore.kvs import ImmutableKVS
 from repro.errors import (
+    ClusterOverloadedError,
     SpitzError,
     TamperDetectedError,
     TransactionAborted,
@@ -50,6 +51,7 @@ __all__ = [
     "verify_bundle",
     "Block",
     "ClientVerifier",
+    "ClusterOverloadedError",
     "Column",
     "ForkBase",
     "ImmutableKVS",

@@ -22,6 +22,7 @@ on-disk layouts are supported, chosen by what ``DB`` points at:
     python -m repro.cli audit mydb.d
     python -m repro.cli digest mydb.d
     python -m repro.cli stats mydb.d
+    python -m repro.cli saturate --clients 8 --capacity 16
 
 (Installed as the ``spitz`` console script: ``spitz stats mydb.d``.)
 
@@ -39,6 +40,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.core.audit import audit_ledger
+from repro.core.client import run_saturation
 from repro.core.database import SpitzDatabase
 from repro.core.persistence import load_database, save_database
 from repro.core.verifier import ClientVerifier
@@ -211,6 +213,30 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_saturate(args: argparse.Namespace) -> int:
+    """Drive an in-process cluster past saturation and report as JSON.
+
+    An operator smoke test for the admission-control settings: spins
+    up a bounded cluster (no on-disk database involved), hammers it
+    with client threads through the retrying
+    :class:`~repro.core.client.ClusterClient`, and prints the
+    reject/shed/complete split plus queue-wait percentiles.
+    """
+    report = run_saturation(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        nodes=args.nodes,
+        capacity=args.capacity,
+        deadline=args.deadline,
+        attempts=args.attempts,
+        service_delay=args.service_delay,
+    )
+    payload = report.to_dict()
+    payload["counters"] = report.counters
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     with _Session(args.db) as session:
         if session.durable is None:
@@ -297,6 +323,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("db")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "saturate",
+        help="overload an in-process cluster; report reject/shed/complete",
+    )
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--ops", type=int, default=25)
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--capacity", type=int, default=16)
+    p.add_argument(
+        "--deadline", type=float, default=0.25,
+        help="per-request client deadline in seconds",
+    )
+    p.add_argument(
+        "--attempts", type=int, default=1,
+        help="client retry attempts (1 = no retries)",
+    )
+    p.add_argument(
+        "--service-delay", type=float, default=0.002,
+        help="artificial per-request service time, seconds",
+    )
+    p.set_defaults(func=cmd_saturate)
 
     p = sub.add_parser(
         "checkpoint",

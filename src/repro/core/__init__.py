@@ -17,8 +17,10 @@ from repro.core.audit import (
     verify_bundle,
 )
 from repro.core.cell_store import Cell, CellStore
+from repro.core.client import ClusterClient, run_saturation
 from repro.core.database import SpitzDatabase
 from repro.core.documents import Collection, DocumentStore
+from repro.core.node import MessageQueue, ProcessorNode, SpitzCluster
 from repro.core.persistence import load_database, save_database
 from repro.core.ledger import Block, LedgerDigest, SpitzLedger
 from repro.core.proofs import LedgerProof, LedgerRangeProof
@@ -41,12 +43,17 @@ __all__ = [
     "Cell",
     "CellStore",
     "ClientVerifier",
+    "ClusterClient",
     "Column",
     "LedgerDigest",
     "LedgerProof",
     "LedgerRangeProof",
+    "MessageQueue",
+    "ProcessorNode",
+    "SpitzCluster",
     "SpitzDatabase",
     "SpitzLedger",
     "TableSchema",
     "UniversalKey",
+    "run_saturation",
 ]

@@ -8,14 +8,26 @@ the master is :class:`SpitzCluster`, which owns the shared storage
 layer and the queue and runs each processor in a thread.
 
 Request-loss discipline: every envelope that enters the queue is
-*always* completed — with a real response, an error response, or a
-``cluster stopped`` failure — so a client blocked on
-:meth:`SpitzCluster.submit` never waits out its timeout because of a
-server-side shutdown or crash.  Shutdown is orderly: the queue closes
-(new submissions fail fast with
+*always* completed — with a real response, an error response, a
+deadline-shed response, or a ``cluster stopped`` failure — so a client
+blocked on :meth:`SpitzCluster.submit` never waits out its timeout
+because of a server-side shutdown or crash.  Shutdown is orderly: the
+queue closes (new submissions fail fast with
 :class:`~repro.errors.ClusterStoppedError`), one poison pill per node
 unblocks the serve loops, and anything still queued is drained and
 failed explicitly.
+
+Admission discipline (the back-pressure half of the same invariant):
+the queue is the cluster's single admission point, so it is also where
+overload is decided.  With a ``capacity`` configured, a queue whose
+depth has exceeded it for a sustained window rejects new submissions
+fast with a retryable :class:`~repro.errors.ClusterOverloadedError`
+instead of letting every client block out its timeout.  Envelopes
+carry their client's deadline; a node that dequeues an already-expired
+envelope *sheds* it — completes it immediately with a retryable error,
+counted as ``queue.shed`` — rather than doing work whose answer nobody
+is waiting for.  Accepted-envelope accounting therefore always
+balances: processed + shed + failed-on-stop == submitted.
 """
 
 from __future__ import annotations
@@ -29,7 +41,7 @@ from typing import List, Optional, Union
 from repro.core.auditor import Auditor
 from repro.core.database import SpitzDatabase
 from repro.core.request_handler import Request, RequestHandler, Response
-from repro.errors import ClusterStoppedError
+from repro.errors import ClusterOverloadedError, ClusterStoppedError
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 
@@ -43,6 +55,15 @@ class Envelope:
     #: Set when the envelope enters the queue; the serving node
     #: measures queue wait time against it.
     enqueued_at: float = field(default_factory=time.perf_counter)
+    #: Absolute ``time.perf_counter()`` instant after which the client
+    #: has stopped waiting; a node that dequeues the envelope later
+    #: sheds it instead of processing it.  None = wait forever.
+    deadline: Optional[float] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.perf_counter()) > self.deadline
 
 
 class _Poison:
@@ -64,25 +85,84 @@ class MessageQueue:
     ``n`` shutdown markers (one per node) behind everything already
     queued; ``drain()`` removes whatever is left so the cluster can
     fail those envelopes instead of stranding their clients.
+
+    Admission control: with ``capacity`` set, a submit that finds the
+    queue deeper than capacity starts (or continues) an overload
+    window; once the queue has stayed over capacity for
+    ``overload_window`` seconds, further submits are rejected fast with
+    a retryable :class:`ClusterOverloadedError` until depth falls back
+    under capacity.  The grace window lets momentary bursts through —
+    only *sustained* overload sheds load.
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        capacity: Optional[int] = None,
+        overload_window: float = 0.05,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        if overload_window < 0:
+            raise ValueError("overload_window must be non-negative")
         self._queue: "queue.Queue[Union[Envelope, _Poison]]" = queue.Queue()
         self._lock = threading.Lock()
         self._closed = False
+        self.capacity = capacity
+        self.overload_window = overload_window
+        #: perf_counter instant when depth first exceeded capacity, or
+        #: None while the queue is under capacity.
+        self._over_since: Optional[float] = None
         self.submitted = 0
         self.rejected = 0
+        self.rejected_overload = 0
+        #: Expired envelopes completed-without-processing by nodes.
+        self.shed = 0
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._c_submitted = self.metrics.counter("queue.submitted")
         self._c_rejected = self.metrics.counter("queue.rejected")
+        self._c_rejected_overload = self.metrics.counter(
+            "queue.rejected_overload"
+        )
+        self._c_shed = self.metrics.counter("queue.shed")
         self._g_depth = self.metrics.gauge("queue.depth")
+        self.metrics.gauge("queue.capacity").set(
+            capacity if capacity is not None else 0
+        )
 
     @property
     def closed(self) -> bool:
         return self._closed
 
-    def submit(self, request: Request) -> Envelope:
-        envelope = Envelope(request=request)
+    def _check_admission(self, now: float) -> None:
+        """Reject (under ``self._lock``) on sustained overload."""
+        if self.capacity is None:
+            return
+        depth = self._queue.qsize()
+        if depth < self.capacity:
+            self._over_since = None
+            return
+        if self._over_since is None:
+            self._over_since = now
+        if now - self._over_since < self.overload_window:
+            return  # burst grace: accept while the window is open
+        self.rejected_overload += 1
+        self._c_rejected_overload.inc()
+        # Suggested backoff grows with how far past capacity we are,
+        # so deeper saturation spreads retries out further.  Floored so
+        # a zero grace window still suggests a real (if tiny) pause.
+        retry_after = max(self.overload_window, 0.001) * (
+            1.0 + depth / self.capacity
+        )
+        raise ClusterOverloadedError(
+            depth=depth, capacity=self.capacity, retry_after=retry_after
+        )
+
+    def submit(
+        self, request: Request, deadline: Optional[float] = None
+    ) -> Envelope:
+        now = time.perf_counter()
+        envelope = Envelope(request=request, deadline=deadline)
         with self._lock:
             if self._closed:
                 self.rejected += 1
@@ -90,11 +170,18 @@ class MessageQueue:
                 raise ClusterStoppedError(
                     "message queue is closed: the cluster is stopping"
                 )
+            self._check_admission(now)
             self._queue.put(envelope)
             self.submitted += 1
         self._c_submitted.inc()
         self._g_depth.set(self._queue.qsize())
         return envelope
+
+    def record_shed(self) -> None:
+        """Account one expired envelope completed without processing."""
+        with self._lock:
+            self.shed += 1
+        self._c_shed.inc()
 
     def take(
         self, timeout: Optional[float] = None
@@ -120,6 +207,15 @@ class MessageQueue:
         """
         for _ in range(count):
             self._queue.put(_POISON)
+
+    def requeue_poison(self) -> None:
+        """Put a taken poison pill back (see ProcessorNode.serve_one).
+
+        A consumer that takes a pill it cannot honour must return it,
+        otherwise another serve loop waiting for its shutdown marker
+        never gets one.
+        """
+        self._queue.put(_POISON)
 
     def drain(self) -> List[Envelope]:
         """Remove and return every queued envelope (skips poison)."""
@@ -158,17 +254,40 @@ class ProcessorNode:
         self._h_queue_wait = self._metrics.histogram("queue.wait_seconds")
 
     def serve_one(self, timeout: float = 0.1) -> bool:
-        """Process one queued request; True if one was handled."""
+        """Process one queued request; True if one was handled.
+
+        A poison pill taken here goes *back* on the queue: the pill
+        belongs to a serve loop, and swallowing it would leave that
+        loop (or a loop started later) without its shutdown marker.
+        """
         envelope = self._mq.take(timeout=timeout)
-        if envelope is None or isinstance(envelope, _Poison):
+        if envelope is None:
+            return False
+        if isinstance(envelope, _Poison):
+            self._mq.requeue_poison()
             return False
         self._handle_envelope(envelope)
         return True
 
     def _handle_envelope(self, envelope: Envelope) -> None:
-        self._h_queue_wait.observe(
-            time.perf_counter() - envelope.enqueued_at
-        )
+        now = time.perf_counter()
+        if envelope.expired(now):
+            # The client stopped waiting before any node picked this
+            # up: shed it.  Completing the envelope (rather than
+            # processing-and-dropping the answer) keeps the
+            # request-loss invariant *and* skips the wasted work.
+            self._mq.record_shed()
+            envelope.response = Response(
+                ok=False,
+                error=(
+                    "request shed: its deadline expired before a "
+                    "processor node dequeued it"
+                ),
+                retryable=True,
+            )
+            envelope.done.set()
+            return
+        self._h_queue_wait.observe(now - envelope.enqueued_at)
         with self._metrics.tracer.span("node.serve"):
             envelope.response = self.handler.handle(envelope.request)
         self.processed += 1
@@ -225,6 +344,8 @@ class SpitzCluster:
         durable_root: Optional[str] = None,
         sync_every: int = 1,
         metrics: Optional[MetricsRegistry] = None,
+        queue_capacity: Optional[int] = None,
+        overload_window: float = 0.05,
     ):
         if nodes < 1:
             raise ValueError("need at least one processor node")
@@ -243,7 +364,11 @@ class SpitzCluster:
             self.durable = None
             self.db = SpitzDatabase(mask_bits=mask_bits, metrics=metrics)
         self.metrics = self.db.metrics
-        self.queue = MessageQueue(metrics=self.metrics)
+        self.queue = MessageQueue(
+            metrics=self.metrics,
+            capacity=queue_capacity,
+            overload_window=overload_window,
+        )
         self.nodes: List[ProcessorNode] = [
             ProcessorNode(f"p{i}", self.db, self.queue)
             for i in range(nodes)
@@ -294,8 +419,17 @@ class SpitzCluster:
         self.stop()
 
     def submit(self, request: Request, timeout: float = 10.0) -> Response:
-        """Send a request through the queue and await its response."""
-        envelope = self.queue.submit(request)
+        """Send a request through the queue and await its response.
+
+        The timeout doubles as the envelope's deadline: if no node has
+        dequeued the request by then, whichever node eventually takes
+        it sheds it instead of processing work this (timed-out) caller
+        will never see.  Raises :class:`ClusterOverloadedError` fast on
+        sustained queue saturation and :class:`ClusterStoppedError`
+        after shutdown — both retryable without side effects.
+        """
+        deadline = time.perf_counter() + timeout
+        envelope = self.queue.submit(request, deadline=deadline)
         if not envelope.done.wait(timeout=timeout):
             raise TimeoutError("no processor node answered in time")
         assert envelope.response is not None

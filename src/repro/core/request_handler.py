@@ -53,6 +53,10 @@ class Response:
     proof: Any = None
     digest: Optional[LedgerDigest] = None
     error: Optional[str] = None
+    #: True when the failure is transient and the request had no side
+    #: effects (e.g. it was shed unprocessed after its deadline), so
+    #: the client may safely resubmit.  See ClusterClient.
+    retryable: bool = False
 
 
 class RequestHandler:
@@ -84,8 +88,7 @@ class RequestHandler:
         self._metrics.counter(f"requests.kind.{request.kind.value}").inc()
         start = time.perf_counter()
         try:
-            result, proof = self._dispatch(request)
-            digest = self._db.digest() if request.verify else None
+            result, proof, digest = self._dispatch_with_digest(request)
         except SpitzError as error:
             self._c_errors.inc()
             return Response(ok=False, error=str(error))
@@ -102,6 +105,24 @@ class RequestHandler:
         finally:
             self._h_latency.observe(time.perf_counter() - start)
         return Response(ok=True, result=result, proof=proof, digest=digest)
+
+    def _dispatch_with_digest(self, request: Request):
+        """Dispatch; for verified requests also capture the digest.
+
+        Proof and digest are captured under the database's commit lock
+        so they describe the *same* ledger state.  Without the lock a
+        commit from another node can land between proof generation and
+        digest capture, pairing an old-block proof with a new-block
+        digest — the client's verification then fails spuriously even
+        though nothing was tampered with.
+        """
+        if not request.verify:
+            result, proof = self._dispatch(request)
+            return result, proof, None
+        with self._db.txn_manager.commit_lock:
+            result, proof = self._dispatch(request)
+            digest = self._db.digest()
+        return result, proof, digest
 
     def _dispatch(self, request: Request):
         payload = request.payload

@@ -122,6 +122,33 @@ class SchemaError(QueryError):
     """A statement referenced a missing table/column or violated a schema."""
 
 
+class ClusterOverloadedError(SpitzError):
+    """The cluster shed a request at admission because it is saturated.
+
+    Raised synchronously by :meth:`~repro.core.node.MessageQueue.submit`
+    when queue depth has exceeded the configured capacity for a
+    sustained window.  The request was *not* accepted: nothing will be
+    processed and nothing needs to be rolled back, so the call is safe
+    to retry after backing off.  ``retry_after`` is the server's
+    suggested backoff in seconds (clients may scale it with their own
+    exponential schedule, as :class:`~repro.core.client.ClusterClient`
+    does).
+    """
+
+    #: Always True: admission rejection happens before any work starts.
+    retryable = True
+
+    def __init__(self, depth: int, capacity: int, retry_after: float):
+        super().__init__(
+            f"cluster overloaded: queue depth {depth} has exceeded "
+            f"capacity {capacity} for a sustained window; retry in "
+            f"~{retry_after:.3f}s"
+        )
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
 class ClusterStoppedError(SpitzError):
     """A request was submitted to a cluster that is shutting down.
 

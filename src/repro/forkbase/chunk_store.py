@@ -8,15 +8,32 @@ what makes multi-version storage cheap (Figure 1 of the paper).
 The store also keeps the accounting the benchmarks need: logical bytes
 written (what a naive snapshot store would hold) versus physical bytes
 stored (after deduplication).
+
+Concurrency: every processor node funnels its index and cell writes
+through one shared store, so mutations are guarded by locks *striped
+by address prefix* (first byte of the content digest).  Two nodes
+putting different content proceed in parallel; two nodes racing on the
+same content serialize on the same stripe, so the check-then-act in
+:meth:`put` can never double-insert, double-count
+``unique_chunks``/``physical_bytes``, or lose a refcount.  The stripes
+are the first step toward ROADMAP's chunk-store sharding — a sharded
+store keeps per-stripe dicts behind these same locks.  Stats live
+behind their own single lock (they are touched on every op regardless
+of stripe).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.crypto.hashing import Digest, hash_bytes
 from repro.errors import ChunkNotFoundError
+
+#: Lock stripes. 16 is plenty for thread-count-scale contention and
+#: keeps compact()'s take-all-stripes step cheap.
+STRIPE_COUNT = 16
 
 
 @dataclass
@@ -55,6 +72,10 @@ class ChunkStore:
 
     def __init__(self) -> None:
         self._entries: Dict[Digest, _Entry] = {}
+        self._stripes: List[threading.Lock] = [
+            threading.Lock() for _ in range(STRIPE_COUNT)
+        ]
+        self._stats_lock = threading.Lock()
         self.stats = StoreStats()
         # Side caches for index layers built on top of the store.
         # Content addressing makes both sound: a digest's decoded form
@@ -64,6 +85,9 @@ class ChunkStore:
         # hashing/pickling that would otherwise dominate hot paths.
         self.decode_cache: Dict[Digest, object] = {}
         self.boundary_cache: Dict[bytes, bool] = {}
+
+    def _stripe(self, address: Digest) -> threading.Lock:
+        return self._stripes[address[0] % STRIPE_COUNT]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -75,18 +99,24 @@ class ChunkStore:
         """Store ``data``; return its content address.
 
         Re-putting existing content bumps the refcount and costs no
-        physical bytes.
+        physical bytes.  Safe under concurrent putters: the address's
+        stripe lock serializes the exists-check with the insert.
         """
         address = hash_bytes(data)
-        self.stats.puts += 1
-        self.stats.logical_bytes += len(data)
-        entry = self._entries.get(address)
-        if entry is not None:
-            entry.refcount += 1
-        else:
-            self._entries[address] = _Entry(data=data)
-            self.stats.unique_chunks += 1
-            self.stats.physical_bytes += len(data)
+        with self._stripe(address):
+            entry = self._entries.get(address)
+            if entry is not None:
+                entry.refcount += 1
+                fresh = False
+            else:
+                self._entries[address] = _Entry(data=data)
+                fresh = True
+        with self._stats_lock:
+            self.stats.puts += 1
+            self.stats.logical_bytes += len(data)
+            if fresh:
+                self.stats.unique_chunks += 1
+                self.stats.physical_bytes += len(data)
         return address
 
     def get(self, address: Digest) -> bytes:
@@ -94,7 +124,8 @@ class ChunkStore:
 
         Raises :class:`ChunkNotFoundError` if absent.
         """
-        self.stats.gets += 1
+        with self._stats_lock:
+            self.stats.gets += 1
         entry = self._entries.get(address)
         if entry is None:
             raise ChunkNotFoundError(address.hex())
@@ -102,7 +133,8 @@ class ChunkStore:
 
     def get_optional(self, address: Digest) -> Optional[bytes]:
         """Fetch the chunk at ``address`` or None if absent."""
-        self.stats.gets += 1
+        with self._stats_lock:
+            self.stats.gets += 1
         entry = self._entries.get(address)
         return entry.data if entry is not None else None
 
@@ -116,39 +148,51 @@ class ChunkStore:
 
         The chunk's bytes stay resident until :meth:`compact`.
         """
-        entry = self._entries.get(address)
-        if entry is None:
-            raise ChunkNotFoundError(address.hex())
-        if entry.refcount > 0:
-            entry.refcount -= 1
-        return entry.refcount
+        with self._stripe(address):
+            entry = self._entries.get(address)
+            if entry is None:
+                raise ChunkNotFoundError(address.hex())
+            if entry.refcount > 0:
+                entry.refcount -= 1
+            return entry.refcount
 
     def reclaimable_bytes(self) -> int:
         """Bytes held by zero-reference chunks."""
-        return sum(
-            len(entry.data)
-            for entry in self._entries.values()
-            if entry.refcount == 0
-        )
+        with self._all_stripes():
+            return sum(
+                len(entry.data)
+                for entry in self._entries.values()
+                if entry.refcount == 0
+            )
+
+    def _all_stripes(self):
+        """Acquire every stripe (in index order, so no deadlocks)."""
+        return _MultiLock(self._stripes)
 
     def compact(self) -> int:
-        """Physically drop zero-reference chunks; return bytes freed."""
-        dead = [
-            address
-            for address, entry in self._entries.items()
-            if entry.refcount == 0
-        ]
-        freed = 0
-        for address in dead:
-            freed += len(self._entries[address].data)
-            del self._entries[address]
-        self.stats.unique_chunks -= len(dead)
-        self.stats.physical_bytes -= freed
+        """Physically drop zero-reference chunks; return bytes freed.
+
+        Takes every stripe so no putter can resurrect (or re-insert) a
+        chunk while its entry is being dropped.
+        """
+        with self._all_stripes():
+            dead = [
+                address
+                for address, entry in self._entries.items()
+                if entry.refcount == 0
+            ]
+            freed = 0
+            for address in dead:
+                freed += len(self._entries[address].data)
+                del self._entries[address]
+            with self._stats_lock:
+                self.stats.unique_chunks -= len(dead)
+                self.stats.physical_bytes -= freed
         return freed
 
     def addresses(self) -> Iterator[Digest]:
         """Iterate over all stored content addresses."""
-        return iter(self._entries.keys())
+        return iter(list(self._entries.keys()))
 
     def export_metrics(self, registry) -> None:
         """Publish dedup accounting into a metrics registry.
@@ -175,3 +219,34 @@ class ChunkStore:
         registry.gauge("chunks.logical_bytes").set(stats.logical_bytes)
         registry.gauge("chunks.physical_bytes").set(stats.physical_bytes)
         registry.gauge("chunks.dedup_ratio").set(stats.dedup_ratio)
+
+    # -- pickling (snapshots capture state, not live locks) ------------
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        del state["_stripes"]
+        del state["_stats_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._stripes = [threading.Lock() for _ in range(STRIPE_COUNT)]
+        self._stats_lock = threading.Lock()
+
+
+class _MultiLock:
+    """Context manager acquiring a list of locks in fixed order."""
+
+    __slots__ = ("_locks",)
+
+    def __init__(self, locks: List[threading.Lock]):
+        self._locks = locks
+
+    def __enter__(self) -> "_MultiLock":
+        for lock in self._locks:
+            lock.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for lock in reversed(self._locks):
+            lock.release()

@@ -5,6 +5,14 @@ layer").  Everything here is dependency-free and picklable; the same
 :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` structure is
 served by ``RequestKind.STATS``, the ``spitz stats`` CLI subcommand,
 and the benchmark harness's ``--json`` output.
+
+Admission-control instruments (DESIGN.md, "Admission control"):
+``queue.capacity`` (gauge; 0 = unbounded), ``queue.rejected_overload``
+(submits refused fast under sustained overload) and ``queue.shed``
+(accepted envelopes completed-unprocessed after their client deadline
+expired).  Together with ``queue.submitted``, ``node.processed`` and
+``cluster.failed_on_stop`` they close the accounting invariant:
+processed + shed + failed-on-stop == submitted.
 """
 
 from repro.obs.metrics import (

@@ -22,6 +22,10 @@ from dataclasses import dataclass
 from functools import total_ordering
 from typing import Callable, Optional
 
+#: Width of the packed ``logical`` field in :meth:`HLCTimestamp.as_int`.
+LOGICAL_BITS = 20
+MAX_LOGICAL = (1 << LOGICAL_BITS) - 1
+
 
 @total_ordering
 @dataclass(frozen=True)
@@ -47,8 +51,20 @@ class HLCTimestamp:
         return hash(self._tuple())
 
     def as_int(self) -> int:
-        """Pack into one integer (wall in the high bits)."""
-        return (self.wall << 20) | self.logical
+        """Pack into one integer (wall in the high bits).
+
+        ``logical`` must fit its field: a value past ``MAX_LOGICAL``
+        would silently spill into the wall bits and corrupt the total
+        order.  :class:`HybridLogicalClock` carries the overflow into
+        ``wall`` before it can happen; a timestamp constructed by hand
+        past the bound is refused here.
+        """
+        if not 0 <= self.logical <= MAX_LOGICAL:
+            raise OverflowError(
+                f"logical counter {self.logical} does not fit in "
+                f"{LOGICAL_BITS} bits; as_int() would corrupt ordering"
+            )
+        return (self.wall << LOGICAL_BITS) | self.logical
 
 
 class HybridLogicalClock:
@@ -69,6 +85,21 @@ class HybridLogicalClock:
         self._wall = 0
         self._logical = 0
 
+    def _carry_overflow(self) -> None:
+        """Keep ``logical`` inside its packed field (under the lock).
+
+        Under a frozen or slow physical clock the logical counter grows
+        without bound; past ``MAX_LOGICAL`` it would spill into the
+        wall bits of :meth:`HLCTimestamp.as_int` and silently corrupt
+        timestamp order.  Borrowing one wall tick instead preserves
+        strict monotonicity: ``wall`` only ever moves forward, and the
+        physical clock catches up later (``max(physical, wall)`` keeps
+        tolerating the artificial lead exactly like ordinary skew).
+        """
+        if self._logical > MAX_LOGICAL:
+            self._wall += 1
+            self._logical = 0
+
     def now(self) -> HLCTimestamp:
         """Timestamp a local or send event."""
         with self._lock:
@@ -78,6 +109,7 @@ class HybridLogicalClock:
                 self._logical = 0
             else:
                 self._logical += 1
+                self._carry_overflow()
             return HLCTimestamp(self._wall, self._logical)
 
     def update(self, remote: HLCTimestamp) -> HLCTimestamp:
@@ -94,6 +126,7 @@ class HybridLogicalClock:
             else:
                 self._logical = 0
             self._wall = top
+            self._carry_overflow()
             return HLCTimestamp(self._wall, self._logical)
 
     def peek(self) -> HLCTimestamp:
@@ -156,7 +189,9 @@ class HlcOracle:
         """
         packed = remote_timestamp >> self.NODE_BITS
         self.clock.update(
-            HLCTimestamp(wall=packed >> 20, logical=packed & 0xFFFFF)
+            HLCTimestamp(
+                wall=packed >> LOGICAL_BITS, logical=packed & MAX_LOGICAL
+            )
         )
 
     def current(self) -> int:

@@ -73,3 +73,83 @@ class TestChunkStore:
         a = store.put(b"1")
         b = store.put(b"2")
         assert {a, b} == set(store.addresses())
+
+
+class TestChunkStoreThreadSafety:
+    """Regression: put() was a lockless check-then-act on the entry
+    dict, so two nodes putting the same new content concurrently could
+    double-insert — double-counting unique_chunks/physical_bytes and
+    losing a refcount.  release()/compact() raced the same way.  The
+    store now stripes locks by address prefix; these hammers assert
+    the accounting is *exact*, not merely close."""
+
+    @pytest.mark.stress
+    def test_concurrent_puts_of_same_content_count_exactly(self):
+        import threading
+
+        store = ChunkStore()
+        threads_n, rounds = 8, 200
+        # Every thread puts the same `rounds` distinct payloads, racing
+        # the first-insert of each address `threads_n` ways.
+        payloads = [f"chunk-{i:04d}".encode() for i in range(rounds)]
+        barrier = threading.Barrier(threads_n)
+
+        def worker():
+            barrier.wait()
+            for payload in payloads:
+                store.put(payload)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        expected_bytes = sum(len(p) for p in payloads)
+        assert len(store) == rounds
+        assert store.stats.unique_chunks == rounds
+        assert store.stats.physical_bytes == expected_bytes
+        assert store.stats.puts == threads_n * rounds
+        assert store.stats.logical_bytes == threads_n * expected_bytes
+        for payload in payloads:
+            from repro.crypto.hashing import hash_bytes
+
+            assert store.refcount(hash_bytes(payload)) == threads_n
+
+    @pytest.mark.stress
+    def test_concurrent_release_and_compact_keep_refcounts_exact(self):
+        import threading
+
+        store = ChunkStore()
+        payloads = [f"gc-{i:03d}".encode() for i in range(100)]
+        refs_per_chunk = 8
+        addresses = [store.put(p) for p in payloads]
+        for _ in range(refs_per_chunk - 1):
+            for p in payloads:
+                store.put(p)
+
+        barrier = threading.Barrier(refs_per_chunk)
+
+        def releaser():
+            barrier.wait()
+            for address in addresses:
+                store.release(address)
+
+        threads = [
+            threading.Thread(target=releaser)
+            for _ in range(refs_per_chunk)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Exactly refs_per_chunk releases hit each chunk: all zero now.
+        assert all(store.refcount(a) == 0 for a in addresses)
+        freed = store.compact()
+        assert freed == sum(len(p) for p in payloads)
+        assert len(store) == 0
+        assert store.stats.unique_chunks == 0
+        assert store.stats.physical_bytes == 0

@@ -301,3 +301,77 @@ class TestShutdownDiscipline:
         mq.poison(3)
         stranded = mq.drain()
         assert stranded == [envelope]
+
+
+class TestPoisonPillDiscipline:
+    def test_serve_one_requeues_poison_instead_of_swallowing(self, db):
+        """Regression: serve_one() used to take a poison pill, return
+        False and drop it — a concurrently running serve loop then
+        missed its shutdown marker (or, for a never-started node, the
+        pill was simply lost)."""
+        from repro.core.node import _Poison
+
+        mq = MessageQueue()
+        node = ProcessorNode("p0", db, mq)
+        mq.poison(1)
+        assert not node.serve_one(timeout=0.1)
+        # The pill is still there for the loop it belongs to.
+        assert isinstance(mq.take(timeout=0.1), _Poison)
+
+    def test_serve_loop_still_gets_its_pill_after_serve_one(self, db):
+        """A direct serve_one() racing shutdown must not starve the
+        threaded loop of its poison: stop() then joins promptly."""
+        cluster = SpitzCluster(nodes=1)
+        cluster.queue.poison(1)  # what stop() would enqueue
+        assert not cluster.nodes[0].serve_one(timeout=0.2)
+        cluster.start()
+        cluster.stop()  # joins within its 2s bound; pill was available
+        assert cluster.nodes[0]._thread is None
+
+
+class TestTornProofDigest:
+    def test_commit_between_proof_and_digest_cannot_tear(self, db):
+        """Regression: handle() computed db.digest() after _dispatch
+        returned, so a commit from another node in that window paired
+        an old-block proof with a new-block digest and verification
+        failed spuriously.  Proof and digest are now captured under
+        the commit lock; the interleaved commit waits."""
+        import threading
+        import time
+
+        db.put(b"k", b"v")
+        handler = RequestHandler(db)
+        release_writer = threading.Event()
+        writer_done = threading.Event()
+
+        original = handler._dispatch
+
+        def stalling_dispatch(request):
+            result, proof = original(request)
+            # Proof exists; invite a concurrent commit before the
+            # digest is captured.  With the fix the writer blocks on
+            # the commit lock until handle() finishes.
+            release_writer.set()
+            time.sleep(0.15)
+            return result, proof
+
+        handler._dispatch = stalling_dispatch
+
+        def writer():
+            release_writer.wait(timeout=2.0)
+            db.put(b"other", b"w")  # would reseal the ledger head
+            writer_done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        response = handler.handle(
+            Request(RequestKind.GET, {"key": b"k"}, verify=True)
+        )
+        thread.join(timeout=5.0)
+        assert writer_done.is_set()
+        assert response.ok
+        verifier = ClientVerifier()
+        verifier.trust(response.digest)
+        assert verifier.verify(response.proof), (
+            "proof and digest describe different ledger states"
+        )

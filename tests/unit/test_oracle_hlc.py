@@ -99,3 +99,60 @@ class TestHlc:
         stamp = clock.now()
         assert clock.peek() == stamp
         assert clock.peek() == stamp
+
+
+class TestHlcLogicalOverflow:
+    """Regression: as_int() packs `logical` into 20 bits, but a frozen
+    or slow physical clock used to grow `logical` without bound — past
+    2^20 same-wall events the counter spilled into the wall bits and
+    silently corrupted timestamp order.  The clock now carries the
+    overflow into `wall` (one borrowed tick) instead."""
+
+    def test_carry_keeps_as_int_monotonic_at_the_boundary(self):
+        from repro.txn.hlc import MAX_LOGICAL
+
+        clock = HybridLogicalClock(physical_clock=lambda: 100)
+        clock.now()
+        # White-box: park the counter just under the packed field's
+        # bound, then allocate across it.
+        clock._logical = MAX_LOGICAL - 4
+        stamps = [clock.now() for _ in range(16)]
+        ints = [stamp.as_int() for stamp in stamps]
+        assert ints == sorted(set(ints)), "as_int order corrupted"
+        assert all(b > a for a, b in zip(ints, ints[1:]))
+        # The overflow borrowed a wall tick; logical restarted.
+        assert stamps[-1].wall == 101
+        assert stamps[-1].logical < MAX_LOGICAL
+
+    def test_update_carries_overflow_from_remote(self):
+        from repro.txn.hlc import MAX_LOGICAL
+
+        clock = HybridLogicalClock(physical_clock=lambda: 100)
+        clock.now()
+        merged = clock.update(HLCTimestamp(wall=100, logical=MAX_LOGICAL))
+        # max(local, remote) + 1 would overflow the field: carried.
+        assert merged.wall == 101
+        assert merged.logical == 0
+        assert merged.as_int() > HLCTimestamp(100, MAX_LOGICAL).as_int()
+
+    def test_hand_built_overflowing_timestamp_is_refused(self):
+        from repro.txn.hlc import MAX_LOGICAL
+
+        with pytest.raises(OverflowError):
+            HLCTimestamp(wall=1, logical=MAX_LOGICAL + 1).as_int()
+
+    @pytest.mark.stress
+    def test_frozen_clock_monotonic_across_2_to_the_20_allocations(self):
+        """The full property, no white-box shortcuts: >2^20 allocations
+        under a frozen physical clock stay strictly as_int-monotonic."""
+        clock = HybridLogicalClock(physical_clock=lambda: 7)
+        previous = clock.now().as_int()
+        wrapped = False
+        for _ in range((1 << 20) + 64):
+            stamp = clock.now()
+            packed = stamp.as_int()
+            assert packed > previous
+            previous = packed
+            if stamp.wall > 7:
+                wrapped = True
+        assert wrapped, "the logical counter never carried into wall"
