@@ -170,20 +170,30 @@ def fig6_read(
         verifier.trust(spitz.digest())
 
         result.series_named("Immutable KVS").add(
-            n, _throughput_over(read_ops, lambda op: kvs.get(op.key))
+            n,
+            _throughput_over(
+                read_ops, lambda op: kvs.get(op.key), trials=READ_TRIALS
+            ),
         )
         result.series_named("Spitz").add(
-            n, _throughput_over(read_ops, lambda op: spitz.get(op.key))
+            n,
+            _throughput_over(
+                read_ops, lambda op: spitz.get(op.key), trials=READ_TRIALS
+            ),
         )
         result.series_named("Spitz-verify").add(
             n,
             _throughput_over(
                 read_ops,
                 lambda op: _spitz_verified_read(spitz, verifier, op.key),
+                trials=READ_TRIALS,
             ),
         )
         result.series_named("Baseline").add(
-            n, _throughput_over(read_ops, lambda op: base.get(op.key))
+            n,
+            _throughput_over(
+                read_ops, lambda op: base.get(op.key), trials=READ_TRIALS
+            ),
         )
         baseline_root = base.digest()
         result.series_named("Baseline-verify").add(
@@ -193,6 +203,7 @@ def fig6_read(
                 lambda op: _baseline_verified_read(
                     base, baseline_root, op.key
                 ),
+                trials=READ_TRIALS,
             ),
         )
     return result
@@ -213,14 +224,43 @@ def _baseline_verified_read(base: BaselineLedgerDB, root, key: bytes):
     return value
 
 
+#: Best-of-N trials for *read-path* series.  The measurement windows
+#: are tiny (30 verified baseline reads is ~1.5ms) while the load
+#: phase dominates runtime, so a single scheduler preemption or GC
+#: pause inside one window swings a single-trial ratio by 2x; taking
+#: the best of a few back-to-back trials measures the code instead of
+#: the machine.  Write-path series keep one trial — re-running write
+#: ops would mutate the database under measurement.
+READ_TRIALS = 3
+
+
 def _throughput_over(
-    ops: List[Operation], action: Callable[[Operation], object]
+    ops: List[Operation],
+    action: Callable[[Operation], object],
+    trials: int = 1,
 ) -> float:
-    start = time.perf_counter()
-    for op in ops:
-        action(op)
-    elapsed = time.perf_counter() - start
-    return len(ops) / elapsed if elapsed > 0 else float("inf")
+    # GC is paused over the timed window (the same policy as timeit):
+    # allocation-heavy series — verified reads build proof objects —
+    # otherwise pay for collections triggered by whatever ran before
+    # the harness, which distorts cross-system ratios.  The window is
+    # bounded (a few hundred ops), so deferred collection is cheap.
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        best = 0.0
+        for _ in range(max(trials, 1)):
+            start = time.perf_counter()
+            for op in ops:
+                action(op)
+            elapsed = time.perf_counter() - start
+            best = max(
+                best,
+                len(ops) / elapsed if elapsed > 0 else float("inf"),
+            )
+        return best
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 # ---------------------------------------------------------------------------
@@ -337,12 +377,18 @@ def fig7_range(
 
         result.series_named("Immutable KVS").add(
             n,
-            _throughput_over(scans, lambda op: kvs.scan(op.key, op.high)),
+            _throughput_over(
+                scans,
+                lambda op: kvs.scan(op.key, op.high),
+                trials=READ_TRIALS,
+            ),
         )
         result.series_named("Spitz").add(
             n,
             _throughput_over(
-                scans, lambda op: spitz.scan(op.key, op.high)
+                scans,
+                lambda op: spitz.scan(op.key, op.high),
+                trials=READ_TRIALS,
             ),
         )
         result.series_named("Spitz-verify").add(
@@ -352,12 +398,15 @@ def fig7_range(
                 lambda op: _spitz_verified_scan(
                     spitz, verifier, op.key, op.high
                 ),
+                trials=READ_TRIALS,
             ),
         )
         result.series_named("Baseline").add(
             n,
             _throughput_over(
-                scans, lambda op: base.scan(op.key, op.high)
+                scans,
+                lambda op: base.scan(op.key, op.high),
+                trials=READ_TRIALS,
             ),
         )
         baseline_root = base.digest()
@@ -368,6 +417,7 @@ def fig7_range(
                 lambda op: _baseline_verified_scan(
                     base, baseline_root, op.key, op.high
                 ),
+                trials=READ_TRIALS,
             ),
         )
     return result
@@ -422,17 +472,24 @@ def fig8_nonintrusive(
         ni_verifier.trust(noni.digest())
 
         read_result.series_named("Spitz").add(
-            n, _throughput_over(reads, lambda op: spitz.get(op.key))
+            n,
+            _throughput_over(
+                reads, lambda op: spitz.get(op.key), trials=READ_TRIALS
+            ),
         )
         read_result.series_named("Spitz-verify").add(
             n,
             _throughput_over(
                 reads,
                 lambda op: _spitz_verified_read(spitz, verifier, op.key),
+                trials=READ_TRIALS,
             ),
         )
         read_result.series_named("Non-intrusive").add(
-            n, _throughput_over(reads, lambda op: noni.get(op.key))
+            n,
+            _throughput_over(
+                reads, lambda op: noni.get(op.key), trials=READ_TRIALS
+            ),
         )
         read_result.series_named("Non-intrusive-verify").add(
             n,
@@ -441,6 +498,7 @@ def fig8_nonintrusive(
                 lambda op: _nonintrusive_verified_read(
                     noni, ni_verifier, op.key
                 ),
+                trials=READ_TRIALS,
             ),
         )
 
@@ -508,6 +566,7 @@ def fig_saturation(
     capacity: int = 8,
     deadline: float = 0.04,
     service_delay: float = 0.01,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FigureResult:
     """Reject/shed/complete rates as offered load passes capacity.
 
@@ -545,6 +604,7 @@ def fig_saturation(
             deadline=deadline,
             attempts=1,
             service_delay=service_delay,
+            metrics=metrics,
         )
         elapsed = max(report.elapsed_seconds, 1e-9)
         completed.add(clients, report.completed / elapsed)
@@ -565,8 +625,32 @@ _RUNNERS = {
     "8": lambda sizes, metrics=None: list(
         fig8_nonintrusive(sizes, metrics=metrics)
     ),
-    "sat": lambda sizes, metrics=None: [fig_saturation()],
+    "sat": lambda sizes, metrics=None: [fig_saturation(metrics=metrics)],
 }
+
+
+def _stage_breakdown(delta: dict) -> dict:
+    """Per-stage time from a figure's ``span.*`` histogram deltas.
+
+    For each traced stage run during the figure: how many spans, how
+    much total time, and its fraction of all stage time — the
+    harness-level view of the critical-path attribution the flight
+    recorder computes per request.
+    """
+    stages = {}
+    for name, summary in delta.get("histograms", {}).items():
+        if not name.startswith("span."):
+            continue
+        stages[name[len("span."):]] = {
+            "count": summary.get("count", 0),
+            "total_seconds": summary.get("sum", 0.0),
+        }
+    total = sum(cell["total_seconds"] for cell in stages.values())
+    for cell in stages.values():
+        cell["fraction"] = (
+            cell["total_seconds"] / total if total > 0 else 0.0
+        )
+    return stages
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -595,11 +679,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         before = registry.snapshot()
         results = _RUNNERS[figure](sizes, registry)
         delta = snapshot_delta(before, registry.snapshot())
+        stage_breakdown = _stage_breakdown(delta)
         for result in results:
             print(result.format_table())
             print()
             entry = result.to_dict()
             entry["metrics_delta"] = delta
+            entry["stage_breakdown"] = stage_breakdown
             entries.append(entry)
     if args.json is not None:
         report = {
@@ -607,6 +693,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "sizes": sizes,
             "figures": entries,
             "metrics": registry.snapshot(),
+            "traces": registry.flight.snapshot(),
         }
         Path(args.json).write_text(
             json.dumps(report, indent=2, sort_keys=True)

@@ -23,6 +23,8 @@ on-disk layouts are supported, chosen by what ``DB`` points at:
     python -m repro.cli digest mydb.d
     python -m repro.cli stats mydb.d
     python -m repro.cli saturate --clients 8 --capacity 16
+    python -m repro.cli trace --ops 50
+    python -m repro.cli slowest --ops 50 --limit 3
 
 (Installed as the ``spitz`` console script: ``spitz stats mydb.d``.)
 
@@ -237,6 +239,82 @@ def cmd_saturate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _drive_traced_cluster(args: argparse.Namespace):
+    """Run a small traced workload on an in-process cluster.
+
+    Shared by ``trace`` and ``slowest``: puts, plain gets, verified
+    gets and one deliberately malformed request, so the flight
+    recorder holds ok *and* error traces across request kinds.
+    Returns the cluster's metrics registry (cluster already stopped).
+    """
+    # Imported here: only these subcommands need the control layer.
+    from repro.core.node import SpitzCluster
+    from repro.core.request_handler import Request, RequestKind
+
+    cluster = SpitzCluster(nodes=args.nodes)
+    cluster.start()
+    try:
+        for i in range(args.ops):
+            key = f"trace:{i % max(args.ops // 2, 1)}".encode()
+            cluster.submit(
+                Request(RequestKind.PUT, {"key": key, "value": b"v%d" % i})
+            )
+            cluster.submit(Request(RequestKind.GET, {"key": key}))
+            cluster.submit(
+                Request(RequestKind.GET, {"key": key}, verify=True)
+            )
+        # One malformed request so the failure ring is never empty.
+        cluster.submit(Request(RequestKind.GET, {"wrong_field": 1}))
+    finally:
+        cluster.stop()
+    return cluster.metrics
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Print full span trees from a traced in-process workload.
+
+    Each tree shows the request's path — ``client.submit`` →
+    ``node.serve`` → ``request.handle`` → storage leaf spans — with
+    per-span durations, statuses and attributes.
+    """
+    metrics = _drive_traced_cluster(args)
+    flight = metrics.flight
+    if args.json:
+        print(json.dumps(flight.snapshot(slowest=args.limit,
+                                         failures=args.limit),
+                         indent=2, sort_keys=True))
+        return 0
+    traces = (
+        flight.failures(args.limit) if args.failures
+        else flight.recent(args.limit)
+    )
+    if not traces:
+        print("(no traces retained)")
+        return 0
+    for trace in traces:
+        print(trace.render())
+        print()
+    return 0
+
+
+def cmd_slowest(args: argparse.Namespace) -> int:
+    """Print the slowest retained traces and the per-request-kind
+    critical-path attribution table (fraction of end-to-end time per
+    stage, computed from every completed request trace)."""
+    metrics = _drive_traced_cluster(args)
+    flight = metrics.flight
+    if args.json:
+        print(json.dumps(flight.snapshot(slowest=args.limit),
+                         indent=2, sort_keys=True))
+        return 0
+    for trace in flight.slowest(args.limit):
+        print(trace.render())
+        print()
+    print("critical-path attribution (per request kind):")
+    print(flight.render_attribution())
+    return 0
+
+
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     with _Session(args.db) as session:
         if session.durable is None:
@@ -345,6 +423,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="artificial per-request service time, seconds",
     )
     p.set_defaults(func=cmd_saturate)
+
+    for name, func, blurb in (
+        (
+            "trace",
+            cmd_trace,
+            "run a traced in-process workload; print request span trees",
+        ),
+        (
+            "slowest",
+            cmd_slowest,
+            "run a traced in-process workload; print the slowest traces "
+            "and per-stage critical-path attribution",
+        ),
+    ):
+        p = sub.add_parser(name, help=blurb)
+        p.add_argument("--ops", type=int, default=50,
+                       help="put/get/verified-get rounds to drive")
+        p.add_argument("--nodes", type=int, default=2)
+        p.add_argument("--limit", type=int, default=5,
+                       help="traces to print")
+        if name == "trace":
+            p.add_argument(
+                "--failures", action="store_true",
+                help="show failed/shed traces instead of recent ones",
+            )
+        p.add_argument("--json", action="store_true",
+                       help="emit the flight-recorder snapshot as JSON")
+        p.set_defaults(func=func)
 
     p = sub.add_parser(
         "checkpoint",

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional
 from repro.core.node import SpitzCluster
 from repro.core.request_handler import Request, RequestKind, Response
 from repro.errors import ClusterOverloadedError, SpitzError
+from repro.obs.metrics import snapshot_delta
 
 
 @dataclass
@@ -176,6 +177,7 @@ def run_saturation(
     deadline: float = 0.25,
     attempts: int = 1,
     service_delay: float = 0.0,
+    metrics=None,
 ) -> SaturationReport:
     """Drive offered load (possibly past node capacity) at one cluster.
 
@@ -186,12 +188,20 @@ def run_saturation(
     it to push a small machine past saturation deterministically).
     With ``attempts=1`` the report measures raw admission behaviour;
     higher values measure how far retry-with-backoff recovers goodput.
+
+    ``metrics`` lets the caller share a registry with the cluster (the
+    benchmark harness passes its per-run registry so saturation traces
+    land in its flight recorder); the report's counters are computed
+    as a before/after delta, so a reused registry does not leak prior
+    activity into the accounting.
     """
     cluster = SpitzCluster(
         nodes=nodes,
         queue_capacity=capacity,
         overload_window=overload_window,
+        metrics=metrics,
     )
+    before = cluster.stats()
     if service_delay > 0:
         for node in cluster.nodes:
             node.handler = _SlowHandler(node.handler, service_delay)
@@ -238,7 +248,8 @@ def run_saturation(
     report.elapsed_seconds = time.perf_counter() - start
     cluster.stop()
     snap = cluster.stats()
-    counters = snap["counters"]
+    delta = snapshot_delta(before, snap)
+    counters = delta["counters"]
     report.offered = clients * ops_per_client
     report.shed = counters.get("queue.shed", 0)
     report.failed_on_stop = counters.get("cluster.failed_on_stop", 0)

@@ -87,7 +87,7 @@ class SpitzDatabase:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._c_commits = self.metrics.counter("db.commits")
         self._c_writes_folded = self.metrics.counter("db.writes_folded")
-        self.chunks = ChunkStore()
+        self.chunks = ChunkStore(metrics=self.metrics)
         self.ledger = SpitzLedger(
             self.chunks, mask_bits, metrics=self.metrics
         )
@@ -166,11 +166,14 @@ class SpitzDatabase:
         """
         # Serialize with transactional commits so MVCC installs stay in
         # timestamp order (the lock is re-entrant: the commit-listener
-        # path already holds it).
-        with self.txn_manager.commit_lock:
-            return self._commit_locked(
-                writes, statements, timestamp, install_mvcc
-            )
+        # path already holds it).  The stage includes the lock wait:
+        # commit-lock contention *is* part of a traced request's
+        # critical path.
+        with self.metrics.tracer.stage("txn.commit"):
+            with self.txn_manager.commit_lock:
+                return self._commit_locked(
+                    writes, statements, timestamp, install_mvcc
+                )
 
     def _commit_locked(
         self,

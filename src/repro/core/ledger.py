@@ -123,6 +123,14 @@ class SpitzLedger:
         Returns the block; the new index instance shares all unchanged
         nodes with the previous block's instance.
         """
+        with self.metrics.tracer.stage("ledger.append"):
+            return self._append_block(writes, statements)
+
+    def _append_block(
+        self,
+        writes: Mapping[bytes, object],
+        statements: Sequence[str] = (),
+    ) -> Block:
         self._tree = self._tree.apply(writes)
         height = len(self._blocks)
         previous = self._chain.head
@@ -193,9 +201,10 @@ class SpitzLedger:
         self, key: bytes
     ) -> Tuple[Optional[bytes], LedgerProof]:
         """Point read plus proof in one traversal (the unified index)."""
-        block = self._require_block()
-        value, siri = self._tree.get_with_proof(key)
-        proof = LedgerProof(siri=siri, block=block.witness())
+        with self.metrics.tracer.stage_in_trace("ledger.prove"):
+            block = self._require_block()
+            value, siri = self._tree.get_with_proof(key)
+            proof = LedgerProof(siri=siri, block=block.witness())
         self._c_proofs_served.inc()
         self._h_proof_bytes.observe(proof.size_bytes)
         return value, proof
@@ -207,11 +216,12 @@ class SpitzLedger:
         self, low: bytes, high: bytes
     ) -> Tuple[List[Tuple[bytes, bytes]], LedgerRangeProof]:
         """Range scan plus one covering proof (Section 6.2.2)."""
-        block = self._require_block()
-        entries, range_proof = self._tree.scan_with_proof(low, high)
-        proof = LedgerRangeProof(
-            range_proof=range_proof, block=block.witness()
-        )
+        with self.metrics.tracer.stage_in_trace("ledger.prove"):
+            block = self._require_block()
+            entries, range_proof = self._tree.scan_with_proof(low, high)
+            proof = LedgerRangeProof(
+                range_proof=range_proof, block=block.witness()
+            )
         self._c_proofs_served.inc()
         self._h_proof_bytes.observe(proof.size_bytes)
         return entries, proof
@@ -237,9 +247,10 @@ class SpitzLedger:
         self, key: bytes, height: int
     ) -> Tuple[Optional[bytes], LedgerProof]:
         """Historical verified read: proof against block ``height``."""
-        block = self.block(height)
-        value, siri = self.tree_at(height).get_with_proof(key)
-        proof = LedgerProof(siri=siri, block=block.witness())
+        with self.metrics.tracer.stage_in_trace("ledger.prove"):
+            block = self.block(height)
+            value, siri = self.tree_at(height).get_with_proof(key)
+            proof = LedgerProof(siri=siri, block=block.witness())
         self._c_proofs_served.inc()
         self._h_proof_bytes.observe(proof.size_bytes)
         return value, proof

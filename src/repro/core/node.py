@@ -43,27 +43,63 @@ from repro.core.database import SpitzDatabase
 from repro.core.request_handler import Request, RequestHandler, Response
 from repro.errors import ClusterOverloadedError, ClusterStoppedError
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.tracing import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    Span,
+    Tracer,
+)
 
 
 @dataclass
 class Envelope:
-    """A request plus the completion event its client waits on."""
+    """A request plus the completion event its client waits on.
+
+    The envelope is also the trace-context carrier across the
+    client→queue→node thread boundary: :meth:`MessageQueue.submit`
+    opens the request's root ``client.submit`` span and attaches it
+    (with its tracer) here, the serving node parents its ``node.serve``
+    span under it, and :meth:`complete` — the single place an envelope
+    is ever finished — closes the root span with the outcome status, so
+    shed and errored requests leave a trace instead of vanishing.
+    """
 
     request: Request
     response: Optional[Response] = None
     done: threading.Event = field(default_factory=threading.Event)
-    #: Set when the envelope enters the queue; the serving node
-    #: measures queue wait time against it.
+    #: Stamped (re-stamped, under the queue lock) at the instant the
+    #: envelope actually enters the queue; the serving node measures
+    #: queue wait against it.  The construction-time default only
+    #: covers envelopes built outside a MessageQueue (unit tests).
     enqueued_at: float = field(default_factory=time.perf_counter)
     #: Absolute ``time.perf_counter()`` instant after which the client
     #: has stopped waiting; a node that dequeues the envelope later
     #: sheds it instead of processing it.  None = wait forever.
     deadline: Optional[float] = None
+    #: Root span of this request's trace, opened by the queue at
+    #: admission; None when the queue's registry is disabled.
+    span: Optional[Span] = None
+    #: The tracer that owns :attr:`span` (completion may happen on a
+    #: node thread or the cluster's stop path, far from the queue).
+    tracer: Optional[Tracer] = None
 
     def expired(self, now: Optional[float] = None) -> bool:
         if self.deadline is None:
             return False
         return (now if now is not None else time.perf_counter()) > self.deadline
+
+    def complete(self, response: Response, status: Optional[str] = None) -> None:
+        """Finish the envelope exactly once: record the response, close
+        the root span with the outcome status, release the client."""
+        if self.done.is_set():
+            return
+        self.response = response
+        if self.tracer is not None and self.span is not None:
+            if status is None:
+                status = STATUS_OK if response.ok else STATUS_ERROR
+            self.tracer.finish(self.span, status=status)
+        self.done.set()
 
 
 class _Poison:
@@ -108,6 +144,11 @@ class MessageQueue:
         self._queue: "queue.Queue[Union[Envelope, _Poison]]" = queue.Queue()
         self._lock = threading.Lock()
         self._closed = False
+        #: Envelopes currently queued (poison pills excluded), tracked
+        #: under ``self._lock`` so admission checks and the
+        #: ``queue.depth`` gauge can never observe a half-applied
+        #: update from an interleaved submit/take.
+        self._depth = 0
         self.capacity = capacity
         self.overload_window = overload_window
         #: perf_counter instant when depth first exceeded capacity, or
@@ -138,7 +179,7 @@ class MessageQueue:
         """Reject (under ``self._lock``) on sustained overload."""
         if self.capacity is None:
             return
-        depth = self._queue.qsize()
+        depth = self._depth
         if depth < self.capacity:
             self._over_since = None
             return
@@ -171,10 +212,26 @@ class MessageQueue:
                     "message queue is closed: the cluster is stopping"
                 )
             self._check_admission(now)
+            # Open the request's root span *before* the put: once the
+            # envelope is visible, a node may dequeue and complete it
+            # immediately, and completion closes this span.
+            envelope.tracer = self.metrics.tracer
+            envelope.span = envelope.tracer.start_span(
+                "client.submit",
+                attributes={
+                    "kind": request.kind.value,
+                    "verify": request.verify,
+                },
+            )
             self._queue.put(envelope)
             self.submitted += 1
-        self._c_submitted.inc()
-        self._g_depth.set(self._queue.qsize())
+            self._depth += 1
+            # Stamped after the actual enqueue, still under the lock:
+            # queue wait must not include submit-side lock contention
+            # or admission-check time.
+            envelope.enqueued_at = time.perf_counter()
+            self._c_submitted.inc()
+            self._g_depth.set(self._depth)
         return envelope
 
     def record_shed(self) -> None:
@@ -190,7 +247,10 @@ class MessageQueue:
             item = self._queue.get(timeout=timeout)
         except queue.Empty:
             return None
-        self._g_depth.set(self._queue.qsize())
+        if not isinstance(item, _Poison):
+            with self._lock:
+                self._depth -= 1
+                self._g_depth.set(self._depth)
         return item
 
     def close(self) -> None:
@@ -227,7 +287,10 @@ class MessageQueue:
                 break
             if not isinstance(item, _Poison):
                 stranded.append(item)
-        self._g_depth.set(self._queue.qsize())
+        if stranded:
+            with self._lock:
+                self._depth -= len(stranded)
+                self._g_depth.set(self._depth)
         return stranded
 
 
@@ -269,30 +332,56 @@ class ProcessorNode:
         self._handle_envelope(envelope)
         return True
 
+    def _tracer_for(self, envelope: Envelope) -> Tracer:
+        # Envelopes submitted through a metrics-less queue still get
+        # their node.serve span recorded against the node's registry
+        # (as an unparented trace root the flight recorder ignores).
+        tracer = envelope.tracer
+        if tracer is None or not tracer.enabled:
+            tracer = self._metrics.tracer
+        return tracer
+
     def _handle_envelope(self, envelope: Envelope) -> None:
         now = time.perf_counter()
+        tracer = self._tracer_for(envelope)
         if envelope.expired(now):
             # The client stopped waiting before any node picked this
             # up: shed it.  Completing the envelope (rather than
             # processing-and-dropping the answer) keeps the
             # request-loss invariant *and* skips the wasted work.
             self._mq.record_shed()
-            envelope.response = Response(
-                ok=False,
-                error=(
-                    "request shed: its deadline expired before a "
-                    "processor node dequeued it"
+            with tracer.span(
+                "node.serve",
+                parent=envelope.span,
+                attributes={"node": self.name},
+            ) as span:
+                if span is not None:
+                    span.status = STATUS_SHED
+            envelope.complete(
+                Response(
+                    ok=False,
+                    error=(
+                        "request shed: its deadline expired before a "
+                        "processor node dequeued it"
+                    ),
+                    retryable=True,
                 ),
-                retryable=True,
+                status=STATUS_SHED,
             )
-            envelope.done.set()
             return
-        self._h_queue_wait.observe(now - envelope.enqueued_at)
-        with self._metrics.tracer.span("node.serve"):
-            envelope.response = self.handler.handle(envelope.request)
+        queue_wait = now - envelope.enqueued_at
+        self._h_queue_wait.observe(queue_wait)
+        with tracer.span(
+            "node.serve",
+            parent=envelope.span,
+            attributes={"node": self.name, "queue_wait": queue_wait},
+        ) as span:
+            response = self.handler.handle(envelope.request)
+            if span is not None and not response.ok:
+                span.status = STATUS_ERROR
         self.processed += 1
         self._c_processed.inc()
-        envelope.done.set()
+        envelope.complete(response)
 
     def start(self) -> None:
         """Run the serve loop in a daemon thread."""
@@ -402,11 +491,12 @@ class SpitzCluster:
             node.stop()
         stranded = self.queue.drain()
         for envelope in stranded:
-            envelope.response = Response(
-                ok=False,
-                error="cluster stopped before the request was processed",
+            envelope.complete(
+                Response(
+                    ok=False,
+                    error="cluster stopped before the request was processed",
+                )
             )
-            envelope.done.set()
         if stranded:
             self.metrics.counter("cluster.failed_on_stop").inc(
                 len(stranded)

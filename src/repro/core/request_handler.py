@@ -88,7 +88,8 @@ class RequestHandler:
         self._metrics.counter(f"requests.kind.{request.kind.value}").inc()
         start = time.perf_counter()
         try:
-            result, proof, digest = self._dispatch_with_digest(request)
+            with self._metrics.tracer.stage("request.handle"):
+                result, proof, digest = self._dispatch_with_digest(request)
         except SpitzError as error:
             self._c_errors.inc()
             return Response(ok=False, error=str(error))
@@ -157,5 +158,13 @@ class RequestHandler:
         if kind is RequestKind.DIGEST:
             return self._db.digest(), None
         if kind is RequestKind.STATS:
-            return self._db.metrics_snapshot(), None
+            snapshot = self._db.metrics_snapshot()
+            if payload.get("traces"):
+                # Opt-in extension: the flight recorder's retained
+                # traces and critical-path attribution ride along with
+                # the metrics snapshot.  Opt-in keeps the default STATS
+                # payload shape stable for existing consumers.
+                snapshot = dict(snapshot)
+                snapshot["traces"] = self._db.metrics.flight.snapshot()
+            return snapshot, None
         raise QueryError(f"unsupported request kind {kind}")

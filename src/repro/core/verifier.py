@@ -174,9 +174,10 @@ class ClientVerifier:
         self.checks += 1
         self._c_checks.inc()
         nodes_before = len(self._node_cache)
-        ok = proof.verify(
-            trusted_chain, self._node_cache, self._block_cache
-        )
+        with self.metrics.tracer.stage_in_trace("verifier.verify"):
+            ok = proof.verify(
+                trusted_chain, self._node_cache, self._block_cache
+            )
         self._account_cache(proof, nodes_before)
         if not ok:
             self._record_detection()

@@ -368,7 +368,8 @@ class WriteAheadLog:
         if self._unsynced == 0:
             return
         start = time.perf_counter()
-        self.io.fsync(self._handle)
+        with self.metrics.tracer.stage("wal.fsync"):
+            self.io.fsync(self._handle)
         self._h_fsync.observe(time.perf_counter() - start)
         self._c_fsyncs.inc()
         self.fsync_count += 1

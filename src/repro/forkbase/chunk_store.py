@@ -70,7 +70,14 @@ class ChunkStore:
     operation) actually drops zero-reference chunks.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
+        # Imported here: forkbase must stay importable without obs
+        # being initialized first (and obs never imports forkbase).
+        from repro.obs.metrics import NULL_REGISTRY
+
+        self._tracer = (
+            metrics if metrics is not None else NULL_REGISTRY
+        ).tracer
         self._entries: Dict[Digest, _Entry] = {}
         self._stripes: List[threading.Lock] = [
             threading.Lock() for _ in range(STRIPE_COUNT)
@@ -101,7 +108,16 @@ class ChunkStore:
         Re-putting existing content bumps the refcount and costs no
         physical bytes.  Safe under concurrent putters: the address's
         stripe lock serializes the exists-check with the insert.
+
+        Tracing: recorded as a ``chunks.put`` child span only inside
+        an active trace (``stage_in_trace``) — per-op timing outside a
+        trace would make this the single hottest metric site in the
+        system (see :meth:`export_metrics`).
         """
+        with self._tracer.stage_in_trace("chunks.put"):
+            return self._put(data)
+
+    def _put(self, data: bytes) -> Digest:
         address = hash_bytes(data)
         with self._stripe(address):
             entry = self._entries.get(address)

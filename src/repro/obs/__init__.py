@@ -1,10 +1,15 @@
-"""Observability layer: metrics registry and tracing spans.
+"""Observability layer: metrics registry, propagating tracer, flight
+recorder.
 
 The cluster-wide measurement substrate (see DESIGN.md, "Observability
-layer").  Everything here is dependency-free and picklable; the same
+layer" and "Tracing layer").  Everything here is dependency-free and
+picklable; the same
 :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` structure is
 served by ``RequestKind.STATS``, the ``spitz stats`` CLI subcommand,
-and the benchmark harness's ``--json`` output.
+and the benchmark harness's ``--json`` output.  Traces follow the same
+three-surface rule: ``RequestKind.STATS`` with
+``payload={"traces": true}``, ``spitz trace`` / ``spitz slowest``, and
+the harness's per-figure stage breakdown.
 
 Admission-control instruments (DESIGN.md, "Admission control"):
 ``queue.capacity`` (gauge; 0 = unbounded), ``queue.rejected_overload``
@@ -15,6 +20,7 @@ expired).  Together with ``queue.submitted``, ``node.processed`` and
 processed + shed + failed-on-stop == submitted.
 """
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -23,15 +29,18 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     snapshot_delta,
 )
-from repro.obs.tracing import Span, Tracer
+from repro.obs.tracing import Span, SpanContext, Trace, Tracer
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "Span",
+    "SpanContext",
+    "Trace",
     "Tracer",
     "snapshot_delta",
 ]

@@ -122,35 +122,54 @@ class Histogram:
             if self.max is None or value > self.max:
                 self.max = value
 
-    def percentile(self, q: float) -> Optional[float]:
-        """Deterministic rank-``q`` estimate (``q`` in (0, 1])."""
-        if self.count == 0:
-            return None
-        rank = max(1, int(q * self.count + 0.999999))
+    def _state(self):
+        """Consistent copy of mutable state, taken under the lock.
+
+        Readers (``percentile``/``summary``) must never iterate
+        ``self._buckets`` live: a concurrent ``observe`` inserting a
+        fresh bucket raises ``RuntimeError: dictionary changed size
+        during iteration`` — seen in practice when a STATS snapshot
+        races a hot write path.
+        """
+        with self._lock:
+            return dict(self._buckets), self.count, self.min, self.max, \
+                self.total
+
+    @staticmethod
+    def _rank_estimate(buckets, count, lo, hi, q: float) -> Optional[float]:
+        rank = max(1, int(q * count + 0.999999))
         seen = 0
-        for index in sorted(self._buckets):
-            seen += self._buckets[index]
+        for index in sorted(buckets):
+            seen += buckets[index]
             if seen >= rank:
                 bound = (
                     _BUCKET_BOUNDS[index]
                     if index < len(_BUCKET_BOUNDS)
-                    else self.max
+                    else hi
                 )
-                assert self.min is not None and self.max is not None
-                return min(max(bound, self.min), self.max)
-        return self.max
+                assert lo is not None and hi is not None
+                return min(max(bound, lo), hi)
+        return hi
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Deterministic rank-``q`` estimate (``q`` in (0, 1])."""
+        buckets, count, lo, hi, _ = self._state()
+        if count == 0:
+            return None
+        return self._rank_estimate(buckets, count, lo, hi, q)
 
     def summary(self) -> Dict[str, float]:
-        if self.count == 0:
+        buckets, count, lo, hi, total = self._state()
+        if count == 0:
             return {"count": 0}
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "p50": self._rank_estimate(buckets, count, lo, hi, 0.50),
+            "p95": self._rank_estimate(buckets, count, lo, hi, 0.95),
+            "p99": self._rank_estimate(buckets, count, lo, hi, 0.99),
         }
 
     def __getstate__(self):
@@ -215,9 +234,11 @@ class MetricsRegistry:
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         # Imported here: tracing builds on the registry's histograms.
+        from repro.obs.flight import FlightRecorder
         from repro.obs.tracing import Tracer
 
-        self.tracer = Tracer(self)
+        self.flight = FlightRecorder()
+        self.tracer = Tracer(self, flight=self.flight)
 
     # -- instrument factories (get-or-create) ---------------------------
 
@@ -310,6 +331,7 @@ def snapshot_delta(
         previous = before.get("histograms", {}).get(name, {"count": 0})
         histograms[name] = {
             "count": summary.get("count", 0) - previous.get("count", 0),
+            "sum": summary.get("sum", 0.0) - previous.get("sum", 0.0),
             "p50": summary.get("p50"),
             "p95": summary.get("p95"),
             "p99": summary.get("p99"),
