@@ -614,6 +614,164 @@ def fig_saturation(
 
 
 # ---------------------------------------------------------------------------
+# HTTP service plane — sustained RPS and overload over real sockets
+# ---------------------------------------------------------------------------
+
+#: Load-process ladder for the HTTP figures.  Each process runs its
+#: own interpreter (spawn), so 4 processes is genuinely parallel
+#: offered load in a way in-process client threads never are.
+HTTP_PROCESSES = (1, 2, 4)
+HTTP_OPS_PER_PROCESS = 60
+#: Overload rung: one slow node behind a tiny queue, with deadlines
+#: tighter than a full queue's drain time, so the top of the ladder
+#: shows all three outcomes at once.  Each sequential load process
+#: contributes exactly one in-flight request, so queue depth tops out
+#: at the process count: with capacity 2 and a 20ms service time, 4
+#: processes push depth past capacity (429s) and queued envelopes
+#: past the 30ms deadline (503 sheds), while 1 process sails through.
+HTTP_OVERLOAD_NODES = 1
+HTTP_OVERLOAD_CAPACITY = 2
+HTTP_OVERLOAD_SERVICE_DELAY = 0.02
+HTTP_OVERLOAD_TIMEOUT = 0.03
+
+
+def _accounting_imbalance(delta: dict) -> float:
+    """Exactly-once check over a counter delta; 0.0 when it holds.
+
+    Every envelope the queue accepted must be accounted for exactly
+    once: processed by a node, shed after its deadline, or failed at
+    shutdown.  Nonzero means the service plane lost or double-counted
+    a request somewhere between the socket and the ledger.
+    """
+    counters = delta.get("counters", {})
+    return float(
+        counters.get("queue.submitted", 0)
+        - counters.get("node.processed", 0)
+        - counters.get("queue.shed", 0)
+        - counters.get("cluster.failed_on_stop", 0)
+    )
+
+
+def fig_http(
+    processes_ladder: Iterable[int] = HTTP_PROCESSES,
+    ops_per_process: int = HTTP_OPS_PER_PROCESS,
+    nodes: int = 2,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Tuple[FigureResult, FigureResult]:
+    """Returns (sustained-throughput figure, overload figure).
+
+    Unlike the in-process figures, both run the full service plane:
+    a listening socket, the JSON wire codec, middleware, and separate
+    **load-generator OS processes** (no shared GIL), so "sustained
+    RPS" and "p99" mean end-to-end over HTTP.
+
+    - **Sustained**: generous queue, retries on; reports RPS and
+      pooled p50/p99 latency per offered-load rung.
+    - **Overload**: tiny queue, slowed handlers, tight per-request
+      deadlines, no retries; decomposes offered load into completed
+      (200) / rejected-at-admission (429) / shed-after-deadline (503)
+      rates — the socket-edge counterpart of the Saturation figure.
+
+    Both carry an "Accounting imbalance" series asserting the
+    exactly-once invariant per rung:
+    ``processed + shed + failed_on_stop == submitted`` (always 0).
+    """
+    from repro.core.client import _SlowHandler
+    from repro.serve.loadgen import run_load
+    from repro.serve.server import serve_cluster
+
+    registry = metrics if metrics is not None else MetricsRegistry()
+
+    sustained = FigureResult(
+        figure="HTTP (a)",
+        title=f"HTTP service plane: sustained load, {nodes} nodes",
+        x_label="#Processes",
+        y_label="Requests/s (RPS) / ms (latency)",
+    )
+    for processes in processes_ladder:
+        service = serve_cluster(
+            nodes=nodes,
+            queue_capacity=256,
+            overload_window=0.05,
+            metrics=registry,
+        )
+        try:
+            before = service.cluster.stats()
+            report = run_load(
+                host="127.0.0.1",
+                port=service.port,
+                processes=processes,
+                ops_per_process=ops_per_process,
+                put_ratio=0.8,
+                verify_every=10,
+                attempts=2,
+            )
+            delta = snapshot_delta(before, service.cluster.stats())
+        finally:
+            service.stop()
+        sustained.series_named("Sustained RPS").add(processes, report.rps)
+        sustained.series_named("p50 latency (ms)").add(
+            processes, (report.latency_p50 or 0.0) * 1000
+        )
+        sustained.series_named("p99 latency (ms)").add(
+            processes, (report.latency_p99 or 0.0) * 1000
+        )
+        sustained.series_named("Accounting imbalance").add(
+            processes, _accounting_imbalance(delta)
+        )
+
+    overload = FigureResult(
+        figure="HTTP (b)",
+        title=(
+            f"HTTP overload: capacity {HTTP_OVERLOAD_CAPACITY}, "
+            f"{HTTP_OVERLOAD_SERVICE_DELAY * 1000:.0f}ms service, "
+            f"{HTTP_OVERLOAD_TIMEOUT * 1000:.0f}ms deadline"
+        ),
+        x_label="#Processes",
+        y_label="Requests/s",
+    )
+    for processes in processes_ladder:
+        service = serve_cluster(
+            nodes=HTTP_OVERLOAD_NODES,
+            queue_capacity=HTTP_OVERLOAD_CAPACITY,
+            overload_window=0.0,
+            metrics=registry,
+        )
+        for node in service.cluster.nodes:
+            node.handler = _SlowHandler(
+                node.handler, HTTP_OVERLOAD_SERVICE_DELAY
+            )
+        try:
+            before = service.cluster.stats()
+            report = run_load(
+                host="127.0.0.1",
+                port=service.port,
+                processes=processes,
+                ops_per_process=ops_per_process,
+                put_ratio=1.0,
+                attempts=1,
+                timeout=HTTP_OVERLOAD_TIMEOUT,
+            )
+            delta = snapshot_delta(before, service.cluster.stats())
+        finally:
+            service.stop()
+        elapsed = max(report.elapsed_seconds, 1e-9)
+        overload.series_named("Completed (200)").add(
+            processes, report.completed / elapsed
+        )
+        overload.series_named("Rejected (429)").add(
+            processes, report.rejected_overload / elapsed
+        )
+        overload.series_named("Shed (503)").add(
+            processes, report.shed / elapsed
+        )
+        overload.series_named("Accounting imbalance").add(
+            processes, _accounting_imbalance(delta)
+        )
+    return sustained, overload
+
+
+# ---------------------------------------------------------------------------
 # command line
 # ---------------------------------------------------------------------------
 
@@ -626,6 +784,7 @@ _RUNNERS = {
         fig8_nonintrusive(sizes, metrics=metrics)
     ),
     "sat": lambda sizes, metrics=None: [fig_saturation(metrics=metrics)],
+    "http": lambda sizes, metrics=None: list(fig_http(metrics=metrics)),
 }
 
 

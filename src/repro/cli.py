@@ -25,6 +25,8 @@ on-disk layouts are supported, chosen by what ``DB`` points at:
     python -m repro.cli saturate --clients 8 --capacity 16
     python -m repro.cli trace --ops 50
     python -m repro.cli slowest --ops 50 --limit 3
+    python -m repro.cli serve --port 7421 --rate 200 --token secret
+    python -m repro.cli loadgen --port 7421 --processes 4 --token secret
 
 (Installed as the ``spitz`` console script: ``spitz stats mydb.d``.)
 
@@ -38,6 +40,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -201,17 +204,46 @@ def cmd_audit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_snapshot_json(payload: dict) -> None:
+    """One serialization path for every stats surface.
+
+    ``spitz stats --json``, ``spitz slowest --json`` and the HTTP
+    ``/v1/stats`` endpoint all run their snapshot through
+    :func:`repro.serve.codec.to_jsonable`, so a scraper sees the same
+    frame no matter which door it knocked on.
+    """
+    from repro.serve.codec import to_jsonable
+
+    print(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Print the database's metrics snapshot as JSON.
+    """Print the database's metrics snapshot.
 
     The same payload a running cluster serves for a
     ``RequestKind.STATS`` request — here it covers whatever the open
     itself did (recovery replay, WAL fsyncs, chunk dedup state), which
     is what an operator inspecting a database at rest cares about.
+    ``--json`` emits the machine frame; the default is a readable
+    table.
     """
     with _Session(args.db) as session:
-        print(json.dumps(session.db.metrics_snapshot(), indent=2,
-                         sort_keys=True))
+        snapshot = session.db.metrics_snapshot()
+    if args.json:
+        _print_snapshot_json(snapshot)
+        return 0
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"{name:<40} {value}")
+    for name, value in sorted(snapshot["gauges"].items()):
+        print(f"{name:<40} {value:g}")
+    print(f"{'histogram':<40} {'count':>8} {'p50':>12} {'p99':>12}")
+    for name, summary in sorted(snapshot["histograms"].items()):
+        if not summary.get("count"):
+            continue
+        print(
+            f"{name:<40} {summary['count']:>8} "
+            f"{summary['p50']:>12.6f} {summary['p99']:>12.6f}"
+        )
     return 0
 
 
@@ -280,9 +312,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     metrics = _drive_traced_cluster(args)
     flight = metrics.flight
     if args.json:
-        print(json.dumps(flight.snapshot(slowest=args.limit,
-                                         failures=args.limit),
-                         indent=2, sort_keys=True))
+        _print_snapshot_json(
+            flight.snapshot(slowest=args.limit, failures=args.limit)
+        )
         return 0
     traces = (
         flight.failures(args.limit) if args.failures
@@ -304,14 +336,86 @@ def cmd_slowest(args: argparse.Namespace) -> int:
     metrics = _drive_traced_cluster(args)
     flight = metrics.flight
     if args.json:
-        print(json.dumps(flight.snapshot(slowest=args.limit),
-                         indent=2, sort_keys=True))
+        _print_snapshot_json(flight.snapshot(slowest=args.limit))
         return 0
     for trace in flight.slowest(args.limit):
         print(trace.render())
         print()
     print("critical-path attribution (per request kind):")
     print(flight.render_attribution())
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a cluster over HTTP until interrupted.
+
+    The service plane in one command: boots an N-node cluster
+    (in-memory, or over a durable directory with ``--durable-root``),
+    fronts it with the threaded HTTP server — request-id + auth +
+    per-client rate-limit middleware, 429/503 shedding at the edge —
+    and blocks until Ctrl-C, then prints the serving stats.
+    """
+    from repro.serve.server import serve_cluster
+
+    service = serve_cluster(
+        nodes=args.nodes,
+        host=args.host,
+        port=args.port,
+        queue_capacity=args.capacity if args.capacity > 0 else None,
+        durable_root=args.durable_root,
+        auth_tokens=args.token or None,
+        rate=args.rate,
+        burst=args.burst,
+        request_timeout=args.request_timeout,
+    )
+    auth = "token auth" if args.token else "open (no auth)"
+    limit = (
+        f"{args.rate:g} req/s per client" if args.rate is not None
+        else "unlimited"
+    )
+    print(f"serving on http://{service.address}  "
+          f"[{args.nodes} nodes, {auth}, rate {limit}]")
+    print("endpoints: /healthz /readyz /v1/stats /v1/digest "
+          "POST /v1/request  (Ctrl-C to stop)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+    snapshot = service.cluster.stats()
+    served = {
+        name: value for name, value in snapshot["counters"].items()
+        if name.startswith("serve.") or name.startswith("queue.")
+    }
+    print()
+    for name, value in sorted(served.items()):
+        print(f"{name:<40} {value}")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running ``spitz serve`` from separate processes.
+
+    Reports sustained RPS, pooled p50/p99 latency and the
+    completed / rejected(429) / rate-limited / shed(503) split as
+    JSON — the client half of the service-plane bench.
+    """
+    from repro.serve.loadgen import run_load
+
+    report = run_load(
+        host=args.host,
+        port=args.port,
+        processes=args.processes,
+        ops_per_process=args.ops,
+        put_ratio=args.put_ratio,
+        verify_every=args.verify_every,
+        token=args.token,
+        attempts=args.attempts,
+        timeout=args.timeout,
+    )
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -397,9 +501,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "stats",
-        help="print the metrics snapshot (counters/gauges/histograms) as JSON",
+        help="print the metrics snapshot (counters/gauges/histograms)",
     )
     p.add_argument("db")
+    p.add_argument("--json", action="store_true",
+                   help="emit the snapshot as JSON (the same frame the "
+                        "HTTP /v1/stats endpoint serves)")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
@@ -451,6 +558,46 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit the flight-recorder snapshot as JSON")
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a cluster over HTTP (rate limits, auth, shedding)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--capacity", type=int, default=64,
+                   help="admission queue capacity (0 = unbounded)")
+    p.add_argument("--durable-root", default=None,
+                   help="serve a durable database rooted at this directory")
+    p.add_argument("--token", action="append", default=[],
+                   help="accepted auth token (repeatable; none = open)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="per-client sustained requests/second (None = off)")
+    p.add_argument("--burst", type=float, default=None,
+                   help="per-client burst size (defaults to 2x rate)")
+    p.add_argument("--request-timeout", type=float, default=10.0,
+                   help="default per-request deadline, seconds")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a running spitz serve from separate OS processes",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--processes", type=int, default=2)
+    p.add_argument("--ops", type=int, default=200,
+                   help="operations per process")
+    p.add_argument("--put-ratio", type=float, default=0.8)
+    p.add_argument("--verify-every", type=int, default=0,
+                   help="every Nth op requests a verifiable proof (0 = off)")
+    p.add_argument("--attempts", type=int, default=1,
+                   help="client retry attempts per op (1 = no retries)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-request deadline, seconds")
+    p.add_argument("--token", default=None, help="auth token to present")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
         "checkpoint",

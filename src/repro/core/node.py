@@ -175,6 +175,31 @@ class MessageQueue:
     def closed(self) -> bool:
         return self._closed
 
+    def _suggested(self, depth: int) -> float:
+        """Suggested client backoff at ``depth``.
+
+        Grows with how far past capacity the queue is, so deeper
+        saturation spreads retries out further.  Floored so a zero
+        grace window still suggests a real (if tiny) pause.
+        """
+        pause = max(self.overload_window, 0.001)
+        if self.capacity is None:
+            return pause
+        return pause * (1.0 + depth / self.capacity)
+
+    def suggested_backoff(self) -> float:
+        """Current suggested backoff (``retry_after``) at live depth.
+
+        The same formula admission rejections embed; the service edge
+        uses it to stamp ``Retry-After`` on responses that bypassed
+        admission — e.g. envelopes shed after their deadline — so every
+        retryable answer a remote client sees carries the queue's own
+        estimate of when capacity will exist again.
+        """
+        with self._lock:
+            depth = self._depth
+        return self._suggested(depth)
+
     def _check_admission(self, now: float) -> None:
         """Reject (under ``self._lock``) on sustained overload."""
         if self.capacity is None:
@@ -189,14 +214,9 @@ class MessageQueue:
             return  # burst grace: accept while the window is open
         self.rejected_overload += 1
         self._c_rejected_overload.inc()
-        # Suggested backoff grows with how far past capacity we are,
-        # so deeper saturation spreads retries out further.  Floored so
-        # a zero grace window still suggests a real (if tiny) pause.
-        retry_after = max(self.overload_window, 0.001) * (
-            1.0 + depth / self.capacity
-        )
         raise ClusterOverloadedError(
-            depth=depth, capacity=self.capacity, retry_after=retry_after
+            depth=depth, capacity=self.capacity,
+            retry_after=self._suggested(depth),
         )
 
     def submit(

@@ -149,6 +149,27 @@ class ClusterOverloadedError(SpitzError):
         self.retry_after = retry_after
 
 
+class RateLimitedError(ClusterOverloadedError):
+    """The service edge rejected a request against its *per-client*
+    token bucket (vs. the parent's cluster-wide admission rejection).
+
+    Same client contract as the parent — nothing happened, back off
+    ``retry_after`` seconds and resubmit — so retry loops written for
+    :class:`ClusterOverloadedError` handle both without changes.
+    """
+
+    def __init__(self, retry_after: float, message: str = ""):
+        SpitzError.__init__(
+            self,
+            message
+            or f"rate limited at the service edge; retry in "
+               f"~{retry_after:.3f}s",
+        )
+        self.depth = 0
+        self.capacity = 0
+        self.retry_after = retry_after
+
+
 class ClusterStoppedError(SpitzError):
     """A request was submitted to a cluster that is shutting down.
 

@@ -1,0 +1,344 @@
+"""JSON wire codec for requests, responses, proofs and snapshots.
+
+One serialization path, three consumers: the HTTP server frames every
+:class:`~repro.core.request_handler.Response` with it, the HTTP client
+decodes back to the same in-memory objects, and the CLI's ``--json``
+outputs (``spitz stats``, ``spitz slowest``, the bench harness) run
+their snapshot dicts through :func:`to_jsonable` so anything a STATS
+endpoint can serve, the CLI prints byte-identically.
+
+Framing rules — JSON has no bytes, so binary values are *tagged*:
+
+- ``bytes`` (keys, values, index-node blobs) →
+  ``{"$bytes": "<base64>"}``;
+- a 32-byte :class:`~repro.crypto.hashing.Digest` → the same tag (it
+  is a ``bytes`` subclass; type identity is restored where the schema
+  demands a digest, e.g. inside proofs);
+- :class:`~repro.core.ledger.LedgerDigest` → ``{"$ledger_digest":
+  {"height", "chain_digest", "tree_root"}}`` with hex digests;
+- :class:`~repro.core.proofs.LedgerProof` /
+  :class:`~repro.core.proofs.LedgerRangeProof` → ``{"$proof": ...}`` /
+  ``{"$range_proof": ...}``, every field encoded explicitly — **no
+  pickle at the envelope layer**, so a malicious response cannot smuggle
+  arbitrary objects through the codec itself.  (The SIRI node blobs
+  *inside* a proof are the index's own node encoding; the verifier
+  decodes them only after their digests check out.)
+- tuples → JSON lists (decoders restore tuples where the proof schema
+  requires them).
+
+Decoding a served proof therefore yields the exact object the
+in-process path produces, and :class:`~repro.core.verifier.ClientVerifier`
+verifies it unchanged — the paper's remote-client story over a real
+wire.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Dict, Optional
+
+from repro.core.ledger import LedgerDigest
+from repro.core.proofs import BlockWitness, LedgerProof, LedgerRangeProof
+from repro.core.request_handler import Request, RequestKind, Response
+from repro.crypto.hashing import Digest
+from repro.errors import SpitzError
+from repro.indexes.pos_tree import PosRangeProof
+from repro.indexes.siri import SiriProof
+
+
+class WireCodecError(SpitzError):
+    """A wire frame could not be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------------
+# value encoding (bytes / digests / proofs / containers)
+# ---------------------------------------------------------------------------
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as error:
+        raise WireCodecError(f"invalid base64 frame: {error}") from None
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one payload/result value into JSON-safe form (strict:
+    raises :class:`WireCodecError` on types the wire cannot carry)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, LedgerDigest):
+        return {"$ledger_digest": _encode_ledger_digest(value)}
+    if isinstance(value, LedgerProof):
+        return {"$proof": _encode_point_proof(value)}
+    if isinstance(value, LedgerRangeProof):
+        return {"$range_proof": _encode_range_proof(value)}
+    if isinstance(value, (bytes, bytearray)):
+        return {"$bytes": _b64(bytes(value))}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {_encode_key(key): encode_value(item)
+                for key, item in value.items()}
+    raise WireCodecError(
+        f"cannot encode {type(value).__name__} for the wire"
+    )
+
+
+def _encode_key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    raise WireCodecError(
+        f"wire dict keys must be strings, got {type(key).__name__}"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (lists stay lists)."""
+    if isinstance(value, dict):
+        if "$bytes" in value:
+            return _unb64(value["$bytes"])
+        if "$ledger_digest" in value:
+            return _decode_ledger_digest(value["$ledger_digest"])
+        if "$proof" in value:
+            return _decode_point_proof(value["$proof"])
+        if "$range_proof" in value:
+            return _decode_range_proof(value["$range_proof"])
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+def to_jsonable(value: Any) -> Any:
+    """Best-effort JSON-safe view for snapshot/report dicts.
+
+    Same framing as :func:`encode_value` for everything it knows;
+    anything exotic degrades to ``repr`` instead of raising, because a
+    stats surface must never fail to serialize whatever a component
+    put in its snapshot.  Non-string dict keys are stringified.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, LedgerDigest):
+        return {"$ledger_digest": _encode_ledger_digest(value)}
+    if isinstance(value, (bytes, bytearray)):
+        return {"$bytes": _b64(bytes(value))}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {
+            key if isinstance(key, str) else repr(key): to_jsonable(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (LedgerProof, LedgerRangeProof)):
+        return encode_value(value)
+    return repr(value)
+
+
+# ---------------------------------------------------------------------------
+# digests and proofs
+# ---------------------------------------------------------------------------
+
+def _encode_digest(digest: Digest) -> str:
+    return digest.hex()
+
+
+def _decode_digest(text: Any) -> Digest:
+    if not isinstance(text, str):
+        raise WireCodecError("digest frame must be a hex string")
+    try:
+        return Digest.from_hex(text)
+    except ValueError as error:
+        raise WireCodecError(f"invalid digest frame: {error}") from None
+
+
+def _encode_ledger_digest(digest: LedgerDigest) -> Dict[str, Any]:
+    return {
+        "height": digest.height,
+        "chain_digest": _encode_digest(digest.chain_digest),
+        "tree_root": _encode_digest(digest.tree_root),
+    }
+
+
+def _decode_ledger_digest(frame: Any) -> LedgerDigest:
+    try:
+        return LedgerDigest(
+            height=int(frame["height"]),
+            chain_digest=_decode_digest(frame["chain_digest"]),
+            tree_root=_decode_digest(frame["tree_root"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise WireCodecError(
+            f"malformed ledger-digest frame: {error}"
+        ) from None
+
+
+def _encode_block(block: BlockWitness) -> Dict[str, Any]:
+    return {
+        "height": block.height,
+        "previous_chain_digest": _encode_digest(block.previous_chain_digest),
+        "tree_root": _encode_digest(block.tree_root),
+        "writes_digest": _encode_digest(block.writes_digest),
+        "statements_digest": _encode_digest(block.statements_digest),
+        "chain_digest": _encode_digest(block.chain_digest),
+    }
+
+
+def _decode_block(frame: Any) -> BlockWitness:
+    try:
+        return BlockWitness(
+            height=int(frame["height"]),
+            previous_chain_digest=_decode_digest(
+                frame["previous_chain_digest"]
+            ),
+            tree_root=_decode_digest(frame["tree_root"]),
+            writes_digest=_decode_digest(frame["writes_digest"]),
+            statements_digest=_decode_digest(frame["statements_digest"]),
+            chain_digest=_decode_digest(frame["chain_digest"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise WireCodecError(
+            f"malformed block-witness frame: {error}"
+        ) from None
+
+
+def _encode_point_proof(proof: LedgerProof) -> Dict[str, Any]:
+    siri = proof.siri
+    return {
+        "siri": {
+            "key": _b64(siri.key),
+            "value": None if siri.value is None else _b64(siri.value),
+            "nodes": [_b64(node) for node in siri.nodes],
+        },
+        "block": _encode_block(proof.block),
+    }
+
+
+def _decode_point_proof(frame: Any) -> LedgerProof:
+    try:
+        siri = frame["siri"]
+        value = siri["value"]
+        return LedgerProof(
+            siri=SiriProof(
+                key=_unb64(siri["key"]),
+                value=None if value is None else _unb64(value),
+                nodes=tuple(_unb64(node) for node in siri["nodes"]),
+            ),
+            block=_decode_block(frame["block"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise WireCodecError(f"malformed proof frame: {error}") from None
+
+
+def _encode_range_proof(proof: LedgerRangeProof) -> Dict[str, Any]:
+    inner = proof.range_proof
+    return {
+        "low": _b64(inner.low),
+        "high": _b64(inner.high),
+        "entries": [[_b64(key), _b64(value)] for key, value in inner.entries],
+        "nodes": [_b64(node) for node in inner.nodes],
+        "root": _encode_digest(inner.root),
+        "block": _encode_block(proof.block),
+    }
+
+
+def _decode_range_proof(frame: Any) -> LedgerRangeProof:
+    try:
+        return LedgerRangeProof(
+            range_proof=PosRangeProof(
+                low=_unb64(frame["low"]),
+                high=_unb64(frame["high"]),
+                entries=tuple(
+                    (_unb64(key), _unb64(value))
+                    for key, value in frame["entries"]
+                ),
+                nodes=tuple(_unb64(node) for node in frame["nodes"]),
+                root=_decode_digest(frame["root"]),
+            ),
+            block=_decode_block(frame["block"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireCodecError(
+            f"malformed range-proof frame: {error}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# request / response envelopes
+# ---------------------------------------------------------------------------
+
+def encode_request(request: Request) -> Dict[str, Any]:
+    return {
+        "kind": request.kind.value,
+        "verify": bool(request.verify),
+        "payload": encode_value(dict(request.payload)),
+    }
+
+
+def decode_request(frame: Any) -> Request:
+    if not isinstance(frame, dict):
+        raise WireCodecError("request frame must be a JSON object")
+    try:
+        kind = RequestKind(frame["kind"])
+    except (KeyError, ValueError):
+        raise WireCodecError(
+            f"unknown request kind {frame.get('kind')!r}"
+        ) from None
+    payload = frame.get("payload", {})
+    if not isinstance(payload, dict):
+        raise WireCodecError("request payload must be a JSON object")
+    return Request(
+        kind=kind,
+        payload=decode_value(payload),
+        verify=bool(frame.get("verify", False)),
+    )
+
+
+def encode_response(response: Response) -> Dict[str, Any]:
+    return {
+        "ok": response.ok,
+        "result": encode_value(response.result),
+        "proof": encode_value(response.proof),
+        "digest": (
+            None if response.digest is None
+            else {"$ledger_digest": _encode_ledger_digest(response.digest)}
+        ),
+        "error": response.error,
+        "retryable": bool(response.retryable),
+    }
+
+
+def decode_response(frame: Any) -> Response:
+    if not isinstance(frame, dict):
+        raise WireCodecError("response frame must be a JSON object")
+    digest: Optional[LedgerDigest] = None
+    digest_frame = frame.get("digest")
+    if digest_frame is not None:
+        decoded = decode_value(digest_frame)
+        if not isinstance(decoded, LedgerDigest):
+            raise WireCodecError("response digest frame is not a digest")
+        digest = decoded
+    return Response(
+        ok=bool(frame.get("ok", False)),
+        result=decode_value(frame.get("result")),
+        proof=decode_value(frame.get("proof")),
+        digest=digest,
+        error=frame.get("error"),
+        retryable=bool(frame.get("retryable", False)),
+    )
+
+
+__all__ = [
+    "WireCodecError",
+    "decode_request",
+    "decode_response",
+    "decode_value",
+    "encode_request",
+    "encode_response",
+    "encode_value",
+    "to_jsonable",
+]

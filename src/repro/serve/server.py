@@ -1,0 +1,546 @@
+"""Threaded stdlib HTTP/1.1 server over a :class:`SpitzCluster`.
+
+This is the socket edge of the service plane: real clients (separate
+processes, separate machines) speak JSON-over-HTTP to a cluster that
+until now only in-process threads could reach.  Design points:
+
+- **Shedding at the edge.**  Admission-control rejections
+  (:class:`~repro.errors.ClusterOverloadedError`) map to **429**,
+  deadline sheds and shutdown to **503** — each with a ``Retry-After``
+  derived from the queue's own suggested backoff
+  (:meth:`~repro.core.node.MessageQueue.suggested_backoff`), plus the
+  precise float in the JSON body (HTTP's header wants integer
+  seconds; our backoffs are milliseconds).  A well-behaved client
+  (:class:`~repro.serve.client.HttpClusterClient`) honors the body
+  value through the exact retry loop the in-process client uses.
+- **Middleware before the queue.**  Every ``/v1/*`` request passes
+  request-id → auth → per-client token bucket; rejected requests
+  never spend cluster capacity (DESIGN.md §6e).
+- **One parented trace per HTTP request.**  The handler opens an
+  ``http.request`` root span on its serving thread; the cluster's
+  ``client.submit`` span (opened inside ``MessageQueue.submit`` on the
+  same thread) parents under it automatically, so the flight recorder
+  retains the full socket-to-storage span tree and ``spitz slowest``
+  attributes HTTP requests like any other.
+
+Endpoints::
+
+    GET  /healthz        process liveness (never touches the cluster)
+    GET  /readyz         readiness: 200 serving, 503 stopping
+    GET  /v1/stats       metrics snapshot (``?traces=1`` adds flight data)
+    GET  /v1/digest      current ledger digest (what clients pin)
+    POST /v1/request     one codec-framed Request -> framed Response
+
+Everything is stdlib (``http.server``); the threading server gives one
+thread per connection, which matches the cluster's thread-per-node
+model and keeps the dependency budget at zero.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.node import SpitzCluster
+from repro.errors import ClusterOverloadedError, ClusterStoppedError
+from repro.obs.tracing import STATUS_ERROR, STATUS_OK, STATUS_SHED
+from repro.serve.codec import (
+    WireCodecError,
+    decode_request,
+    encode_response,
+    to_jsonable,
+)
+from repro.serve.middleware import (
+    AuthMiddleware,
+    EdgeRejection,
+    MiddlewareStack,
+    RateLimitMiddleware,
+    RequestContext,
+    RequestIdMiddleware,
+)
+from repro.serve.ratelimit import RateLimiter
+
+#: Largest accepted request body; bigger gets 413 without reading.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Ceiling on the per-request cluster timeout a client may ask for.
+MAX_REQUEST_TIMEOUT = 60.0
+
+
+class ServerConfig:
+    """Knobs for :class:`SpitzHTTPServer` (plain object, no deps)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        auth_tokens: Optional[List[str]] = None,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        request_timeout: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self.auth_tokens = list(auth_tokens) if auth_tokens else []
+        self.rate = rate
+        self.burst = burst
+        self.request_timeout = request_timeout
+
+
+def _overload_body(error: ClusterOverloadedError) -> Dict[str, Any]:
+    return {
+        "error": str(error),
+        "overloaded": True,
+        "retryable": True,
+        "retry_after": error.retry_after,
+        "depth": error.depth,
+        "capacity": error.capacity,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One HTTP connection (the threading server gives it a thread)."""
+
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate writes; with Nagle on, the
+    # second write stalls behind the peer's delayed ACK (~40ms per
+    # request on loopback keep-alive connections).
+    disable_nagle_algorithm = True
+    server: "SpitzHTTPServer"
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Access logging is the metrics registry's job, not stderr's.
+        pass
+
+    def _reply(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        request_id: str = "",
+        retry_after: Optional[float] = None,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        if retry_after is not None:
+            # Standard header is integer seconds; the precise float
+            # rides in the body as "retry_after".
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
+        self.end_headers()
+        self.wfile.write(payload)
+        self.server.observe_response(status)
+
+    def _read_body(self) -> Optional[bytes]:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            return None
+        try:
+            size = int(length)
+        except ValueError:
+            return None
+        if size < 0 or size > MAX_BODY_BYTES:
+            return None
+        return self.rfile.read(size)
+
+    def _context(self, path: str) -> RequestContext:
+        return RequestContext(
+            method=self.command,
+            path=path,
+            headers={
+                name.lower(): value for name, value in self.headers.items()
+            },
+            # Host only — the ephemeral port changes per connection,
+            # and the rate limiter keys anonymous callers by this, so
+            # including it would hand every reconnect a fresh bucket.
+            remote_addr=(
+                str(self.client_address[0])
+                if isinstance(self.client_address, tuple)
+                else str(self.client_address)
+            ),
+        )
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler contract)
+        split = urlsplit(self.path)
+        path = split.path
+        if path == "/healthz":
+            self._reply(200, {"status": "alive"})
+            return
+        if path == "/readyz":
+            ready, detail = self.server.readiness()
+            self._reply(200 if ready else 503, detail)
+            return
+        if path == "/v1/stats":
+            query = parse_qs(split.query)
+            traces = query.get("traces", ["0"])[0] in ("1", "true", "yes")
+            self.server.handle_edge(
+                self, self._context(path), kind="stats",
+                action=lambda: (200, self.server.stats_body(traces)),
+            )
+            return
+        if path == "/v1/digest":
+            self.server.handle_edge(
+                self, self._context(path), kind="digest",
+                action=lambda: (200, self.server.digest_body()),
+            )
+            return
+        self._reply(404, {"error": f"no route {path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler contract)
+        path = urlsplit(self.path).path
+        if path != "/v1/request":
+            self._reply(404, {"error": f"no route {path!r}"})
+            return
+        body = self._read_body()
+        if body is None:
+            self._reply(
+                411, {"error": "Content-Length required and bounded"}
+            )
+            return
+        self.server.handle_request_route(self, self._context(path), body)
+
+
+class SpitzHTTPServer:
+    """The service plane: middleware stack + routes over one cluster.
+
+    Owns the listening socket (``port=0`` binds an ephemeral port —
+    read :attr:`port` after construction) and a daemon thread running
+    ``serve_forever``.  Does *not* own the cluster: callers that want
+    a one-stop lifecycle use :func:`serve_cluster`.
+    """
+
+    def __init__(self, cluster: SpitzCluster, config: Optional[ServerConfig] = None):
+        self.cluster = cluster
+        self.config = config if config is not None else ServerConfig()
+        self.metrics = cluster.metrics
+        self._c_requests = self.metrics.counter("serve.http.requests")
+        self._c_rejected_edge = self.metrics.counter("serve.http.rejected_edge")
+        self._h_latency = self.metrics.histogram("serve.http.latency_seconds")
+        self._status_counters: Dict[int, Any] = {}
+        self.limiter = RateLimiter(
+            rate=self.config.rate,
+            burst=self.config.burst,
+            metrics=self.metrics,
+        )
+        self.auth = AuthMiddleware(
+            tokens=self.config.auth_tokens, metrics=self.metrics
+        )
+        self.middleware = MiddlewareStack([
+            RequestIdMiddleware(),
+            self.auth,
+            RateLimitMiddleware(self.limiter),
+        ])
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        # The handler reaches everything through ``self.server``.
+        self._httpd.observe_response = self.observe_response  # type: ignore[attr-defined]
+        self._httpd.readiness = self.readiness  # type: ignore[attr-defined]
+        self._httpd.stats_body = self.stats_body  # type: ignore[attr-defined]
+        self._httpd.digest_body = self.digest_body  # type: ignore[attr-defined]
+        self._httpd.handle_edge = self.handle_edge  # type: ignore[attr-defined]
+        self._httpd.handle_request_route = self.handle_request_route  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="spitz-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "SpitzHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- per-request machinery (called from handler threads) ------------
+
+    def observe_response(self, status: int) -> None:
+        counter = self._status_counters.get(status)
+        if counter is None:
+            counter = self.metrics.counter(f"serve.http.status.{status}")
+            self._status_counters[status] = counter
+        counter.inc()
+
+    def readiness(self) -> Tuple[bool, Dict[str, Any]]:
+        queue = self.cluster.queue
+        detail: Dict[str, Any] = {
+            "queue_depth": queue.metrics.gauge("queue.depth").value,
+            "queue_capacity": queue.capacity,
+        }
+        if queue.closed:
+            detail["status"] = "stopping"
+            return False, detail
+        detail["status"] = "ready"
+        return True, detail
+
+    def stats_body(self, traces: bool) -> Dict[str, Any]:
+        """The CLI's exact payload: one serialization path for both."""
+        snapshot = self.cluster.db.metrics_snapshot()
+        if traces:
+            snapshot = dict(snapshot)
+            snapshot["traces"] = self.metrics.flight.snapshot()
+        return to_jsonable(snapshot)
+
+    def digest_body(self) -> Dict[str, Any]:
+        return to_jsonable({"digest": self.cluster.db.digest()})
+
+    def _reject(
+        self,
+        handler: _Handler,
+        context: RequestContext,
+        rejection: EdgeRejection,
+    ) -> None:
+        self._c_rejected_edge.inc()
+        body = {
+            "error": rejection.error,
+            "retryable": rejection.retryable,
+            "request_id": context.request_id,
+        }
+        if rejection.retry_after is not None:
+            body["retry_after"] = rejection.retry_after
+        handler._reply(
+            rejection.status, body,
+            request_id=context.request_id,
+            retry_after=rejection.retry_after,
+        )
+
+    def handle_edge(self, handler, context: RequestContext, kind, action) -> None:
+        """Run a GET-side route through middleware + tracing.
+
+        ``action`` returns ``(status, body)``; it runs inside the
+        request's root span so any cluster work it does parents there.
+        """
+        self._c_requests.inc()
+        start = time.perf_counter()
+        tracer = self.metrics.tracer
+        # The reply is written *after* the span closes: once a client
+        # has the response, its trace is already in the recorder —
+        # "one complete trace per request" holds without a race.
+        with tracer.span(
+            "http.request",
+            attributes={"kind": kind, "path": context.path},
+        ) as span:
+            rejection = self.middleware.run(context)
+            if span is not None:
+                span.set_attribute("request_id", context.request_id)
+                span.set_attribute("client", context.client_id)
+            if rejection is not None:
+                if span is not None:
+                    span.status = (
+                        STATUS_SHED if rejection.status == 429
+                        else STATUS_ERROR
+                    )
+            else:
+                status, body = action()
+                if span is not None and status >= 400:
+                    span.status = STATUS_ERROR
+        self._h_latency.observe(time.perf_counter() - start)
+        if rejection is not None:
+            self._reject(handler, context, rejection)
+        else:
+            body["request_id"] = context.request_id
+            handler._reply(status, body, request_id=context.request_id)
+
+    def handle_request_route(
+        self, handler, context: RequestContext, body: bytes
+    ) -> None:
+        """POST /v1/request: decode, middleware, submit, frame, reply."""
+        self._c_requests.inc()
+        start = time.perf_counter()
+        tracer = self.metrics.tracer
+        # As in handle_edge: the span closes (and the trace lands in
+        # the flight recorder) before the reply goes on the wire.
+        with tracer.span(
+            "http.request",
+            attributes={"kind": "edge", "path": context.path},
+        ) as span:
+            status, payload, retry_after, outcome = self._process(
+                context, body, span
+            )
+            if span is not None:
+                span.status = outcome
+                span.set_attribute("request_id", context.request_id)
+                span.set_attribute("http_status", status)
+        self._h_latency.observe(time.perf_counter() - start)
+        if isinstance(payload, dict):
+            payload.setdefault("request_id", context.request_id)
+        handler._reply(
+            status, payload,
+            request_id=context.request_id,
+            retry_after=retry_after,
+        )
+
+    def _process(self, context, body, span):
+        """Returns (http_status, json_body, retry_after, span_status)."""
+        rejection = self.middleware.run(context)
+        if span is not None:
+            span.set_attribute("client", context.client_id)
+        if rejection is not None:
+            self._c_rejected_edge.inc()
+            reply = {
+                "error": rejection.error,
+                "retryable": rejection.retryable,
+            }
+            if rejection.retry_after is not None:
+                reply["retry_after"] = rejection.retry_after
+            outcome = (
+                STATUS_SHED if rejection.status == 429 else STATUS_ERROR
+            )
+            return rejection.status, reply, rejection.retry_after, outcome
+        try:
+            frame = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return (
+                400,
+                {"error": f"request body is not JSON: {error}"},
+                None,
+                STATUS_ERROR,
+            )
+        try:
+            request = decode_request(frame)
+        except WireCodecError as error:
+            return 400, {"error": str(error)}, None, STATUS_ERROR
+        if span is not None:
+            span.set_attribute("kind", request.kind.value)
+        timeout = self.config.request_timeout
+        asked = frame.get("timeout_seconds")
+        if isinstance(asked, (int, float)) and asked > 0:
+            timeout = min(float(asked), MAX_REQUEST_TIMEOUT)
+        try:
+            response = self.cluster.submit(request, timeout=timeout)
+        except ClusterOverloadedError as error:
+            # Admission rejection: shed at the socket edge, with the
+            # queue's own backoff suggestion on the wire.
+            return 429, _overload_body(error), error.retry_after, STATUS_SHED
+        except ClusterStoppedError as error:
+            return (
+                503,
+                {"error": str(error), "stopped": True, "retryable": False},
+                None,
+                STATUS_ERROR,
+            )
+        except TimeoutError as error:
+            return (
+                504,
+                {"error": str(error), "retryable": False},
+                None,
+                STATUS_ERROR,
+            )
+        reply = encode_response(response)
+        if response.ok:
+            return 200, reply, None, STATUS_OK
+        if response.retryable:
+            # Deadline shed inside the queue: 503 + the queue's live
+            # backoff suggestion (the shed response itself carries
+            # none), so remote clients pace exactly like local ones.
+            retry_after = self.cluster.queue.suggested_backoff()
+            reply["retry_after"] = retry_after
+            return 503, reply, retry_after, STATUS_SHED
+        return 200, reply, None, STATUS_ERROR
+
+
+class ClusterService:
+    """One-stop lifecycle: a cluster plus its HTTP front end."""
+
+    def __init__(self, cluster: SpitzCluster, server: SpitzHTTPServer):
+        self.cluster = cluster
+        self.server = server
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return self.server.address
+
+    def stop(self) -> None:
+        self.server.stop()
+        self.cluster.stop()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve_cluster(
+    nodes: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    queue_capacity: Optional[int] = None,
+    overload_window: float = 0.05,
+    durable_root: Optional[str] = None,
+    auth_tokens: Optional[List[str]] = None,
+    rate: Optional[float] = None,
+    burst: Optional[float] = None,
+    request_timeout: float = 10.0,
+    metrics=None,
+) -> ClusterService:
+    """Build, start and front a cluster in one call (CLI and bench)."""
+    cluster = SpitzCluster(
+        nodes=nodes,
+        durable_root=durable_root,
+        queue_capacity=queue_capacity,
+        overload_window=overload_window,
+        metrics=metrics,
+    )
+    cluster.start()
+    server = SpitzHTTPServer(
+        cluster,
+        ServerConfig(
+            host=host,
+            port=port,
+            auth_tokens=auth_tokens,
+            rate=rate,
+            burst=burst,
+            request_timeout=request_timeout,
+        ),
+    )
+    server.start()
+    return ClusterService(cluster, server)
+
+
+__all__ = [
+    "ClusterService",
+    "MAX_BODY_BYTES",
+    "MAX_REQUEST_TIMEOUT",
+    "ServerConfig",
+    "SpitzHTTPServer",
+    "serve_cluster",
+]

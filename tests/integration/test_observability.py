@@ -376,7 +376,7 @@ class TestCliStats:
         assert cli_main(["init", root, "--durable"]) == 0
         assert cli_main(["put", root, "alice", "100"]) == 0
         capsys.readouterr()
-        assert cli_main(["stats", root]) == 0
+        assert cli_main(["stats", root, "--json"]) == 0
         snap = json.loads(capsys.readouterr().out)
         assert set(snap) == {"counters", "gauges", "histograms"}
         # The opening recovery replayed the logged put.
@@ -391,7 +391,7 @@ class TestCliStats:
         assert cli_main(["init", path]) == 0
         assert cli_main(["put", path, "k", "v"]) == 0
         capsys.readouterr()
-        assert cli_main(["stats", path]) == 0
+        assert cli_main(["stats", path, "--json"]) == 0
         snap = json.loads(capsys.readouterr().out)
         # A pickled snapshot carries its registry: the put recorded
         # before saving is still visible after loading.
