@@ -23,7 +23,11 @@ from repro.core.database import SpitzDatabase
 from repro.core.documents import DocumentStore
 from repro.core.persistence import load_database, save_database
 from repro.core.ledger import Block, LedgerDigest, SpitzLedger
-from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.core.proofs import (
+    LedgerMultiProof,
+    LedgerProof,
+    LedgerRangeProof,
+)
 from repro.core.schema import Column, TableSchema
 from repro.core.verifier import ClientVerifier
 from repro.baseline.ledger_db import BaselineLedgerDB
@@ -57,6 +61,7 @@ __all__ = [
     "ImmutableKVS",
     "IntrusiveVDB",
     "LedgerDigest",
+    "LedgerMultiProof",
     "LedgerProof",
     "LedgerRangeProof",
     "NonIntrusiveVDB",

@@ -772,6 +772,107 @@ def fig_http(
 
 
 # ---------------------------------------------------------------------------
+# Multiproof — bytes per verified read, batched vs point proofs
+# ---------------------------------------------------------------------------
+
+#: Batch sizes measured by the multiproof figure.
+MULTIPROOF_KS = (1, 4, 16, 64)
+#: Batches sampled per K (averaged).
+MULTIPROOF_BATCHES = 6
+
+
+def fig_multiproof(
+    n: Optional[int] = None,
+    ks: Iterable[int] = MULTIPROOF_KS,
+    batches: int = MULTIPROOF_BATCHES,
+    seed: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FigureResult:
+    """Bytes-per-verified-read: one multiproof vs K point proofs.
+
+    Runs the full service plane: a cluster is preloaded, served over
+    HTTP, and every batch is fetched twice through
+    :class:`~repro.serve.client.HttpClusterClient` — once as a
+    ``MULTI_GET`` (one :class:`~repro.core.proofs.LedgerMultiProof`)
+    and once as K point ``GET``\\ s (K
+    :class:`~repro.core.proofs.LedgerProof`\\ s).  **Every** served
+    proof is decoded from the wire and verified client-side against
+    the served digest; a verification failure fails the figure.
+
+    The multiproof ships each shared upper-level node and the block
+    witness once, so its bytes/read falls as K grows while the
+    point-proof cost stays flat — the gap is the "Reduction (%)"
+    series.
+    """
+    import random
+
+    from repro.serve.client import HttpClusterClient
+    from repro.serve.server import serve_cluster
+
+    n = n if n is not None else DEFAULT_SCALE * 8
+    rng = random.Random(seed)
+    result = FigureResult(
+        figure="Multiproof",
+        title=(
+            f"Batched multiproofs over HTTP: bytes per verified read, "
+            f"{n} records"
+        ),
+        x_label="K (keys per batch)",
+        y_label="Bytes / verified read",
+    )
+    gen = WorkloadGenerator(n_records=n, seed=seed)
+    service = serve_cluster(
+        nodes=2, queue_capacity=256, overload_window=0.05, metrics=metrics
+    )
+    try:
+        db = service.cluster.db
+        keys = []
+        for key, value in gen.records():
+            db.put(key, value)
+            keys.append(key)
+        db.flush_ledger()
+        _settle_gc()
+        with HttpClusterClient("127.0.0.1", service.port) as client:
+            verifier = ClientVerifier(metrics=metrics)
+            verifier.trust(db.digest())
+            for k in ks:
+                multi_bytes = 0
+                point_bytes = 0
+                for _batch in range(batches):
+                    batch = rng.sample(keys, min(k, len(keys)))
+                    response = client.get_many(batch, verify=True)
+                    if not response.ok:
+                        raise RuntimeError(
+                            f"MULTI_GET failed: {response.error}"
+                        )
+                    verifier.observe(response.digest)
+                    verifier.verify_or_raise(response.proof)
+                    multi_bytes += response.proof.size_bytes
+                    for key in batch:
+                        point = client.get(key, verify=True)
+                        if not point.ok:
+                            raise RuntimeError(
+                                f"GET failed: {point.error}"
+                            )
+                        verifier.observe(point.digest)
+                        verifier.verify_or_raise(point.proof)
+                        point_bytes += point.proof.size_bytes
+                reads = batches * k
+                result.series_named("Point proofs").add(
+                    k, point_bytes / reads
+                )
+                result.series_named("Multiproof").add(
+                    k, multi_bytes / reads
+                )
+                result.series_named("Reduction (%)").add(
+                    k, 100.0 * (1 - multi_bytes / max(point_bytes, 1))
+                )
+    finally:
+        service.stop()
+    return result
+
+
+# ---------------------------------------------------------------------------
 # command line
 # ---------------------------------------------------------------------------
 
@@ -785,6 +886,9 @@ _RUNNERS = {
     ),
     "sat": lambda sizes, metrics=None: [fig_saturation(metrics=metrics)],
     "http": lambda sizes, metrics=None: list(fig_http(metrics=metrics)),
+    "multiproof": lambda sizes, metrics=None: [
+        fig_multiproof(metrics=metrics)
+    ],
 }
 
 

@@ -142,6 +142,35 @@ def cmd_get(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mget(args: argparse.Namespace) -> int:
+    with _Session(args.db) as session:
+        db = session.db
+        keys = [key.encode() for key in args.keys]
+        if args.verify:
+            values, proof = db.get_many_verified(keys)
+            verifier = ClientVerifier()
+            verifier.trust(db.digest())
+            ok = verifier.verify(proof)
+            for key, value in zip(args.keys, values):
+                rendered = (
+                    value.decode(errors="replace") if value else "(absent)"
+                )
+                print(f"{key}\t{rendered}")
+            state = "VERIFIED" if ok else "VERIFICATION FAILED"
+            print(
+                f"[{state}; one multiproof, {len(proof.multi.nodes)} "
+                f"deduped nodes, {proof.size_bytes} bytes for "
+                f"{len(keys)} keys]"
+            )
+            return 0 if ok else 2
+        for key, value in zip(args.keys, db.get_many(keys)):
+            rendered = (
+                value.decode(errors="replace") if value else "(absent)"
+            )
+            print(f"{key}\t{rendered}")
+    return 0
+
+
 def cmd_delete(args: argparse.Namespace) -> int:
     with _Session(args.db) as session:
         block = session.db.delete(args.key.encode())
@@ -469,6 +498,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("key")
     p.add_argument("--verify", action="store_true")
     p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser(
+        "mget", help="batch read; --verify uses one multiproof"
+    )
+    p.add_argument("db")
+    p.add_argument("keys", nargs="+")
+    p.add_argument("--verify", action="store_true")
+    p.set_defaults(func=cmd_mget)
 
     p = sub.add_parser("delete", help="delete one key (history kept)")
     p.add_argument("db")

@@ -23,7 +23,11 @@ from repro.core.documents import Collection, DocumentStore
 from repro.core.node import MessageQueue, ProcessorNode, SpitzCluster
 from repro.core.persistence import load_database, save_database
 from repro.core.ledger import Block, LedgerDigest, SpitzLedger
-from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.core.proofs import (
+    LedgerMultiProof,
+    LedgerProof,
+    LedgerRangeProof,
+)
 from repro.core.schema import Column, TableSchema
 from repro.core.universal_key import UniversalKey
 from repro.core.verifier import ClientVerifier
@@ -46,6 +50,7 @@ __all__ = [
     "ClusterClient",
     "Column",
     "LedgerDigest",
+    "LedgerMultiProof",
     "LedgerProof",
     "LedgerRangeProof",
     "MessageQueue",

@@ -136,6 +136,13 @@ class ClusterClient:
     def get(self, key: bytes, verify: bool = False) -> Response:
         return self.call(Request(RequestKind.GET, {"key": key}, verify))
 
+    def get_many(self, keys, verify: bool = False) -> Response:
+        """Batch point read; with ``verify`` the response carries one
+        :class:`~repro.core.proofs.LedgerMultiProof` for every key."""
+        return self.call(
+            Request(RequestKind.MULTI_GET, {"keys": list(keys)}, verify)
+        )
+
 
 @dataclass
 class SaturationReport:

@@ -26,7 +26,16 @@ how Spitz serves as the ledger database of the non-intrusive design
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.crypto.hashing import Digest
 from repro.errors import QueryError, SchemaError
@@ -43,7 +52,11 @@ from repro.txn.manager import (
 from repro.txn.mvcc import Version
 from repro.core.cell_store import Cell, CellStore
 from repro.core.ledger import Block, LedgerDigest, SpitzLedger
-from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.core.proofs import (
+    LedgerMultiProof,
+    LedgerProof,
+    LedgerRangeProof,
+)
 from repro.core.query import (
     AccessPath,
     Condition,
@@ -319,6 +332,24 @@ class SpitzDatabase:
         """Read plus proof from the unified ledger index (one walk)."""
         self.flush_ledger()
         return self.ledger.get_with_proof(KV_PREFIX + key)
+
+    def get_many(self, keys: Sequence[bytes]) -> List[Optional[bytes]]:
+        """Unverified batch read via the B+-tree access path."""
+        return [self.get(key) for key in keys]
+
+    def get_many_verified(
+        self, keys: Sequence[bytes]
+    ) -> Tuple[List[Optional[bytes]], LedgerMultiProof]:
+        """Batch read plus one multiproof from the unified ledger index.
+
+        All K keys are answered against the same sealed block, so the
+        proof carries one block witness and each shared index node
+        once (vs. K copies across K point proofs).
+        """
+        self.flush_ledger()
+        return self.ledger.get_many_with_proof(
+            [KV_PREFIX + key for key in keys]
+        )
 
     def delete(self, key: bytes) -> Block:
         """Logical delete; history stays in earlier ledger blocks."""

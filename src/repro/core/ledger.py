@@ -25,7 +25,12 @@ from repro.forkbase.chunk_store import ChunkStore
 from repro.indexes.pos_tree import PosTree
 from repro.indexes.siri import DELETE
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
-from repro.core.proofs import BlockWitness, LedgerProof, LedgerRangeProof
+from repro.core.proofs import (
+    BlockWitness,
+    LedgerMultiProof,
+    LedgerProof,
+    LedgerRangeProof,
+)
 
 
 def block_digest_of(
@@ -208,6 +213,23 @@ class SpitzLedger:
         self._c_proofs_served.inc()
         self._h_proof_bytes.observe(proof.size_bytes)
         return value, proof
+
+    def get_many_with_proof(
+        self, keys: Sequence[bytes]
+    ) -> Tuple[List[Optional[bytes]], LedgerMultiProof]:
+        """Batch point read plus one multiproof binding the block once.
+
+        K point proofs would each carry the same
+        :class:`~repro.core.proofs.BlockWitness` and re-ship the index's
+        shared upper nodes; the multiproof dedups both.
+        """
+        with self.metrics.tracer.stage_in_trace("ledger.prove"):
+            block = self._require_block()
+            values, multi = self._tree.get_many_with_proof(keys)
+            proof = LedgerMultiProof(multi=multi, block=block.witness())
+        self._c_proofs_served.inc()
+        self._h_proof_bytes.observe(proof.size_bytes)
+        return values, proof
 
     def scan(self, low: bytes, high: bytes) -> List[Tuple[bytes, bytes]]:
         return self._tree.scan(low, high)

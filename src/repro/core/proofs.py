@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.crypto.hashing import Digest
-from repro.indexes.pos_tree import PosRangeProof, PosTree
+from repro.indexes.pos_tree import PosMultiProof, PosRangeProof, PosTree
 from repro.indexes.siri import SiriProof
 
 
@@ -33,6 +33,12 @@ class BlockWitness:
     writes_digest: Digest
     statements_digest: Digest
     chain_digest: Digest
+
+
+#: Wire weight of one :class:`BlockWitness`: five 32-byte digests plus
+#: an 8-byte height.  (Historically charged as ``6 * 32``, overstating
+#: every ``ledger.proof_bytes`` observation by 32 bytes.)
+BLOCK_WITNESS_BYTES = 5 * 32 + 8
 
 
 @dataclass(frozen=True)
@@ -52,7 +58,7 @@ class LedgerProof:
 
     @property
     def size_bytes(self) -> int:
-        return self.siri.size_bytes + 6 * 32 + 8
+        return self.siri.size_bytes + BLOCK_WITNESS_BYTES
 
     def verify(
         self,
@@ -95,7 +101,7 @@ class LedgerRangeProof:
 
     @property
     def size_bytes(self) -> int:
-        return self.range_proof.size_bytes + 6 * 32 + 8
+        return self.range_proof.size_bytes + BLOCK_WITNESS_BYTES
 
     def verify(
         self,
@@ -108,6 +114,47 @@ class LedgerRangeProof:
         if not _check_block(self.block, block_cache):
             return False
         return self.range_proof.verify(self.block.tree_root, node_cache)
+
+
+@dataclass(frozen=True)
+class LedgerMultiProof:
+    """Proof for K point reads sharing one block witness.
+
+    The batched analogue of :class:`LedgerProof`: the inner
+    :class:`~repro.indexes.pos_tree.PosMultiProof` deduplicates index
+    nodes across the K keys, and the :class:`BlockWitness` — identical
+    for every key answered against the same sealed block — is bound
+    once instead of K times.  Verification is the same three-layer
+    recomputation: chain digest, block digest, then every key's path
+    under the block's index root.
+    """
+
+    multi: PosMultiProof
+    block: BlockWitness
+
+    @property
+    def entries(self) -> Tuple[Tuple[bytes, Optional[bytes]], ...]:
+        return self.multi.entries
+
+    @property
+    def keys(self) -> Tuple[bytes, ...]:
+        return self.multi.keys
+
+    @property
+    def size_bytes(self) -> int:
+        return self.multi.size_bytes + BLOCK_WITNESS_BYTES
+
+    def verify(
+        self,
+        trusted_chain_digest: Digest,
+        node_cache: Optional[dict] = None,
+        block_cache: Optional[set] = None,
+    ) -> bool:
+        if self.block.chain_digest != trusted_chain_digest:
+            return False
+        if not _check_block(self.block, block_cache):
+            return False
+        return self.multi.verify(self.block.tree_root, node_cache)
 
 
 def _check_block(block: BlockWitness, block_cache: Optional[set]) -> bool:

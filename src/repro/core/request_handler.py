@@ -20,6 +20,10 @@ from repro.core.ledger import LedgerDigest
 
 class RequestKind(enum.Enum):
     GET = "get"
+    #: Batch point read: ``payload["keys"]`` is a list of keys; with
+    #: ``verify=True`` the response carries one
+    #: :class:`~repro.core.proofs.LedgerMultiProof` for all of them.
+    MULTI_GET = "multi_get"
     PUT = "put"
     DELETE = "delete"
     SCAN = "scan"
@@ -133,6 +137,12 @@ class RequestHandler:
                 value, proof = self._db.get_verified(payload["key"])
                 return value, proof
             return self._db.get(payload["key"]), None
+        if kind is RequestKind.MULTI_GET:
+            keys = list(payload["keys"])
+            if request.verify:
+                values, proof = self._db.get_many_verified(keys)
+                return values, proof
+            return self._db.get_many(keys), None
         if kind is RequestKind.PUT:
             if request.verify:
                 block, proof = self._db.put_with_proof(

@@ -14,11 +14,15 @@ from typing import Optional, Union
 
 from repro.errors import TamperDetectedError, VerificationError
 from repro.core.ledger import LedgerDigest
-from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.core.proofs import (
+    LedgerMultiProof,
+    LedgerProof,
+    LedgerRangeProof,
+)
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.txn.batch import DeferredVerifier
 
-Proof = Union[LedgerProof, LedgerRangeProof]
+Proof = Union[LedgerProof, LedgerRangeProof, LedgerMultiProof]
 
 
 class ClientVerifier:
@@ -33,6 +37,14 @@ class ClientVerifier:
     an explicit :meth:`flush` or a batch-full auto-flush inside
     :meth:`verify` — are accounted from the queue's own totals, so a
     batch that fails mid-flush still registers its detection.
+
+    Fork detection: :meth:`observe` rejects not only digests *behind*
+    the trusted height but also **same-height digests whose chain
+    digest or index root differ** (an equal-height fork was previously
+    adopted silently), and :meth:`advance` checks the offered
+    ``tree_root`` against the trusted digest even when the extension
+    is empty (an empty extension previously bypassed the index-root
+    comparison entirely).
     """
 
     def __init__(
@@ -75,15 +87,31 @@ class ClientVerifier:
 
         Refuses to move backwards: a server presenting an older digest
         than one already trusted is reporting a forked or truncated
-        ledger.  Forward moves are accepted on faith here; use
-        :meth:`advance` with an extension proof when the link between
-        the old and new digests must itself be verified.
+        ledger.  A digest at the *same* height must match the trusted
+        one exactly — equal height with a different chain digest or
+        index root is a fork, not progress.  Forward moves are
+        accepted on faith here; use :meth:`advance` with an extension
+        proof when the link between the old and new digests must
+        itself be verified.
         """
         if self._trusted is not None and digest.height < self._trusted.height:
             self._record_detection()
             raise TamperDetectedError(
                 f"ledger went backwards: trusted height "
                 f"{self._trusted.height}, offered {digest.height}"
+            )
+        if (
+            self._trusted is not None
+            and digest.height == self._trusted.height
+            and (
+                digest.chain_digest != self._trusted.chain_digest
+                or digest.tree_root != self._trusted.tree_root
+            )
+        ):
+            self._record_detection()
+            raise TamperDetectedError(
+                f"forked ledger at height {digest.height}: offered "
+                "digest disagrees with the trusted one"
             )
         self._trusted = digest
 
@@ -139,11 +167,20 @@ class ClientVerifier:
             raise TamperDetectedError(
                 "extension does not reach the offered digest"
             )
-        if extension and extension[-1].tree_root != digest.tree_root:
+        if extension:
+            if extension[-1].tree_root != digest.tree_root:
+                self._record_detection()
+                raise TamperDetectedError(
+                    "offered digest's index root does not match the "
+                    "last extension block"
+                )
+        elif digest.tree_root != self._trusted.tree_root:
+            # Empty extension means same height and (chain-checked
+            # above) same history — the index root must not change.
             self._record_detection()
             raise TamperDetectedError(
-                "offered digest's index root does not match the last "
-                "extension block"
+                "offered digest forges the index root at the trusted "
+                "height"
             )
         self._trusted = digest
 
@@ -233,11 +270,12 @@ class ClientVerifier:
 
     def _account_cache(self, proof: Proof, nodes_before: int) -> None:
         """Attribute one proof's nodes to cache hits vs misses."""
-        nodes = (
-            proof.siri.nodes
-            if isinstance(proof, LedgerProof)
-            else proof.range_proof.nodes
-        )
+        if isinstance(proof, LedgerProof):
+            nodes = proof.siri.nodes
+        elif isinstance(proof, LedgerMultiProof):
+            nodes = proof.multi.nodes
+        else:
+            nodes = proof.range_proof.nodes
         misses = len(self._node_cache) - nodes_before
         hits = max(len(nodes) - misses, 0)
         self.cache_hits += hits
@@ -249,6 +287,11 @@ class ClientVerifier:
     def _label(proof: Proof) -> str:
         if isinstance(proof, LedgerProof):
             return f"point:{proof.key!r}@block{proof.block.height}"
+        if isinstance(proof, LedgerMultiProof):
+            return (
+                f"multi:{len(proof.multi.entries)}keys"
+                f"@block{proof.block.height}"
+            )
         return (
             f"range:{proof.range_proof.low!r}..{proof.range_proof.high!r}"
             f"@block{proof.block.height}"

@@ -24,6 +24,7 @@ their serialized bytes; the root address is the digest clients pin.
 from __future__ import annotations
 
 import bisect
+import pickle
 from dataclasses import dataclass
 from typing import (
     Dict,
@@ -49,6 +50,21 @@ from repro.indexes.siri import (
 
 #: Default split pattern width: expected node size is ``2**MASK_BITS``.
 DEFAULT_MASK_BITS = 5
+
+#: Everything a tampered proof can raise during verification — node
+#: bytes that fail to unpickle, malformed node shapes, and broken
+#: path walks.  Proof ``verify`` methods turn all of these into
+#: ``False``: tampering is *detected*, never an exception.
+_VERIFY_ERRORS = (
+    KeyError,
+    ProofError,
+    ValueError,
+    IndexError,
+    TypeError,
+    EOFError,
+    AttributeError,
+    pickle.UnpicklingError,
+)
 
 
 @dataclass(frozen=True)
@@ -86,20 +102,10 @@ class PosRangeProof:
         """
         if root != self.root:
             return False
-        decoded: Dict[Digest, tuple] = {}
-        for raw in self.nodes:
-            digest = hash_bytes(raw)
-            if cache is not None:
-                node = cache.get(digest)
-                if node is None:
-                    node = decode_node(raw)
-                    cache[digest] = node
-            else:
-                node = decode_node(raw)
-            decoded[digest] = node
         try:
+            decoded = _decode_proof_nodes(self.nodes, cache)
             replayed = _replay_range(decoded, root, self.low, self.high)
-        except (KeyError, ProofError, ValueError, IndexError, TypeError):
+        except _VERIFY_ERRORS:
             return False
         return tuple(replayed) == self.entries
 
@@ -128,6 +134,103 @@ def _replay_range(
             _replay_range(by_address, Digest(children[index][1]), low, high)
         )
     return results
+
+
+@dataclass(frozen=True)
+class PosMultiProof:
+    """One proof covering K point lookups against the same root.
+
+    ``entries`` holds the claimed ``(key, value-or-None)`` pairs in
+    request order (``None`` claims proven absence, exactly like a
+    point proof).  ``nodes`` holds the raw bytes of every node on any
+    queried key's root-to-leaf path — **deduplicated by address**, so
+    the root and shared upper levels appear once no matter how many
+    keys traverse them.  That dedup is the whole point: K point proofs
+    ship the root K times; one multiproof ships it once.
+
+    :meth:`verify` hashes every supplied node, then re-walks each
+    key's path from ``root`` using only proof-supplied nodes.  A
+    mutated node hashes to a different address and breaks its path
+    (missing node); a truncated node set breaks the walk the same way;
+    a swapped or forged claim fails the leaf comparison.  All failures
+    return False — nothing raises.
+    """
+
+    entries: Tuple[Tuple[bytes, Optional[bytes]], ...]
+    nodes: Tuple[bytes, ...]
+    root: Digest
+
+    @property
+    def keys(self) -> Tuple[bytes, ...]:
+        return tuple(key for key, _value in self.entries)
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            sum(len(node) for node in self.nodes)
+            + sum(
+                len(key) + (len(value) if value is not None else 0)
+                for key, value in self.entries
+            )
+        )
+
+    def verify(self, root: Digest, cache: Optional[dict] = None) -> bool:
+        """True iff every claimed entry is the root's answer for its key.
+
+        ``cache`` (digest → decoded node) carries verified nodes across
+        proofs, feeding the verifier's cache-hit accounting exactly
+        like range proofs do.
+        """
+        if root != self.root:
+            return False
+        try:
+            decoded = _decode_proof_nodes(self.nodes, cache)
+            for key, claimed in self.entries:
+                if _replay_lookup(decoded, root, key) != claimed:
+                    return False
+        except _VERIFY_ERRORS:
+            return False
+        return True
+
+
+def _decode_proof_nodes(
+    nodes: Tuple[bytes, ...], cache: Optional[dict]
+) -> Dict[Digest, tuple]:
+    """Hash and decode proof-supplied nodes, keyed by address.
+
+    ``cache`` (digest → decoded node) memoizes decoding across proofs;
+    replay still only sees nodes *this* proof supplied, so a cached
+    node can never stand in for one a tampered proof dropped.
+    """
+    decoded: Dict[Digest, tuple] = {}
+    for raw in nodes:
+        digest = hash_bytes(raw)
+        if cache is not None:
+            node = cache.get(digest)
+            if node is None:
+                node = decode_node(raw)
+                cache[digest] = node
+        else:
+            node = decode_node(raw)
+        decoded[digest] = node
+    return decoded
+
+
+def _replay_lookup(
+    by_address: Dict[Digest, tuple], address: Digest, key: bytes
+) -> Optional[bytes]:
+    """Re-run one point lookup using only proof-supplied nodes."""
+    while True:
+        node = by_address[address]
+        if node[0] == "L":
+            for entry_key, value in node[1]:
+                if entry_key == key:
+                    return value
+            return None
+        children = node[1]
+        first_keys = [child[0] for child in children]
+        index = max(bisect.bisect_right(first_keys, key) - 1, 0)
+        address = Digest(children[index][1])
 
 
 @dataclass(frozen=True)
@@ -422,6 +525,48 @@ class PosTree(SiriIndex):
                 break
         proof = SiriProof(key=key, value=value, nodes=tuple(nodes))
         return value, proof
+
+    def get_many_with_proof(
+        self, keys: Sequence[bytes]
+    ) -> Tuple[List[Optional[bytes]], "PosMultiProof"]:
+        """Batch lookup plus one multiproof for all of ``keys``.
+
+        Each key's root-to-leaf walk collects its nodes into one
+        address-keyed set, so the root and any shared upper-level
+        nodes appear exactly once in the proof regardless of K.
+        Values come back in request order (None for absent keys).
+        """
+        collected: Dict[Digest, bytes] = {}
+        entries: List[Tuple[bytes, Optional[bytes]]] = []
+        values: List[Optional[bytes]] = []
+        for key in keys:
+            address = self.root
+            value: Optional[bytes] = None
+            while True:
+                if address not in collected:
+                    collected[address] = self.store.get(address)
+                node = self._load_node(address)
+                if node[0] == "B":
+                    children = node[1]
+                    first_keys = [child[0] for child in children]
+                    index = max(
+                        bisect.bisect_right(first_keys, key) - 1, 0
+                    )
+                    address = Digest(children[index][1])
+                else:
+                    for entry_key, entry_value in node[1]:
+                        if entry_key == key:
+                            value = entry_value
+                            break
+                    break
+            values.append(value)
+            entries.append((key, value))
+        proof = PosMultiProof(
+            entries=tuple(entries),
+            nodes=tuple(collected.values()),
+            root=self.root,
+        )
+        return values, proof
 
     @staticmethod
     def _find_child(node: tuple, key: bytes):

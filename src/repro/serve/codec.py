@@ -17,8 +17,10 @@ Framing rules — JSON has no bytes, so binary values are *tagged*:
 - :class:`~repro.core.ledger.LedgerDigest` → ``{"$ledger_digest":
   {"height", "chain_digest", "tree_root"}}`` with hex digests;
 - :class:`~repro.core.proofs.LedgerProof` /
-  :class:`~repro.core.proofs.LedgerRangeProof` → ``{"$proof": ...}`` /
-  ``{"$range_proof": ...}``, every field encoded explicitly — **no
+  :class:`~repro.core.proofs.LedgerRangeProof` /
+  :class:`~repro.core.proofs.LedgerMultiProof` → ``{"$proof": ...}`` /
+  ``{"$range_proof": ...}`` / ``{"$multi_proof": ...}``, every field
+  encoded explicitly — **no
   pickle at the envelope layer**, so a malicious response cannot smuggle
   arbitrary objects through the codec itself.  (The SIRI node blobs
   *inside* a proof are the index's own node encoding; the verifier
@@ -38,11 +40,16 @@ import base64
 from typing import Any, Dict, Optional
 
 from repro.core.ledger import LedgerDigest
-from repro.core.proofs import BlockWitness, LedgerProof, LedgerRangeProof
+from repro.core.proofs import (
+    BlockWitness,
+    LedgerMultiProof,
+    LedgerProof,
+    LedgerRangeProof,
+)
 from repro.core.request_handler import Request, RequestKind, Response
 from repro.crypto.hashing import Digest
 from repro.errors import SpitzError
-from repro.indexes.pos_tree import PosRangeProof
+from repro.indexes.pos_tree import PosMultiProof, PosRangeProof
 from repro.indexes.siri import SiriProof
 
 
@@ -76,6 +83,8 @@ def encode_value(value: Any) -> Any:
         return {"$proof": _encode_point_proof(value)}
     if isinstance(value, LedgerRangeProof):
         return {"$range_proof": _encode_range_proof(value)}
+    if isinstance(value, LedgerMultiProof):
+        return {"$multi_proof": _encode_multi_proof(value)}
     if isinstance(value, (bytes, bytearray)):
         return {"$bytes": _b64(bytes(value))}
     if isinstance(value, (list, tuple)):
@@ -107,6 +116,8 @@ def decode_value(value: Any) -> Any:
             return _decode_point_proof(value["$proof"])
         if "$range_proof" in value:
             return _decode_range_proof(value["$range_proof"])
+        if "$multi_proof" in value:
+            return _decode_multi_proof(value["$multi_proof"])
         return {key: decode_value(item) for key, item in value.items()}
     if isinstance(value, list):
         return [decode_value(item) for item in value]
@@ -134,7 +145,7 @@ def to_jsonable(value: Any) -> Any:
             key if isinstance(key, str) else repr(key): to_jsonable(item)
             for key, item in value.items()
         }
-    if isinstance(value, (LedgerProof, LedgerRangeProof)):
+    if isinstance(value, (LedgerProof, LedgerRangeProof, LedgerMultiProof)):
         return encode_value(value)
     return repr(value)
 
@@ -264,6 +275,38 @@ def _decode_range_proof(frame: Any) -> LedgerRangeProof:
     except (KeyError, TypeError, ValueError) as error:
         raise WireCodecError(
             f"malformed range-proof frame: {error}"
+        ) from None
+
+
+def _encode_multi_proof(proof: LedgerMultiProof) -> Dict[str, Any]:
+    inner = proof.multi
+    return {
+        "entries": [
+            [_b64(key), None if value is None else _b64(value)]
+            for key, value in inner.entries
+        ],
+        "nodes": [_b64(node) for node in inner.nodes],
+        "root": _encode_digest(inner.root),
+        "block": _encode_block(proof.block),
+    }
+
+
+def _decode_multi_proof(frame: Any) -> LedgerMultiProof:
+    try:
+        return LedgerMultiProof(
+            multi=PosMultiProof(
+                entries=tuple(
+                    (_unb64(key), None if value is None else _unb64(value))
+                    for key, value in frame["entries"]
+                ),
+                nodes=tuple(_unb64(node) for node in frame["nodes"]),
+                root=_decode_digest(frame["root"]),
+            ),
+            block=_decode_block(frame["block"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireCodecError(
+            f"malformed multi-proof frame: {error}"
         ) from None
 
 

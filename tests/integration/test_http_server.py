@@ -133,6 +133,24 @@ class TestRequestRoundTrips:
         verifier.trust(response.digest)
         verifier.verify_or_raise(response.proof)
 
+    def test_verified_multi_get_verifies_client_side(self, service, client):
+        from repro.core.proofs import LedgerMultiProof
+
+        for i in range(8):
+            assert client.put(b"mget:%d" % i, b"v%d" % i).ok
+        keys = [b"mget:1", b"mget:5", b"mget:7", b"mget:nope"]
+        response = client.get_many(keys, verify=True)
+        assert response.ok
+        assert response.result == [b"v1", b"v5", b"v7", None]
+        assert isinstance(response.proof, LedgerMultiProof)
+        verifier = ClientVerifier()
+        verifier.trust(response.digest)
+        verifier.verify_or_raise(response.proof)
+        # Unverified batch read carries no proof.
+        plain = client.get_many(keys)
+        assert plain.ok and plain.proof is None
+        assert plain.result == [b"v1", b"v5", b"v7", None]
+
     def test_verified_scan_verifies_client_side(self, service, client):
         for i in range(6):
             assert client.put(b"scan:%d" % i, b"v%d" % i).ok

@@ -55,6 +55,71 @@ class TestClientVerifier:
         with pytest.raises(TamperDetectedError):
             verifier.observe(old)
 
+    def test_observe_rejects_equal_height_fork(self, loaded_db):
+        """Regression: a same-height digest with a different chain
+        digest or index root was adopted silently."""
+        from repro.core.ledger import LedgerDigest
+        from repro.crypto.hashing import hash_bytes
+
+        verifier = ClientVerifier()
+        digest = loaded_db.digest()
+        verifier.trust(digest)
+        forked = LedgerDigest(
+            height=digest.height,
+            chain_digest=hash_bytes(b"forked-chain"),
+            tree_root=digest.tree_root,
+        )
+        with pytest.raises(TamperDetectedError):
+            verifier.observe(forked)
+        assert verifier.detections == 1
+        assert verifier.trusted_digest == digest
+        forged_root = LedgerDigest(
+            height=digest.height,
+            chain_digest=digest.chain_digest,
+            tree_root=hash_bytes(b"forged-root"),
+        )
+        with pytest.raises(TamperDetectedError):
+            verifier.observe(forged_root)
+        # Re-observing the identical digest is still fine.
+        verifier.observe(digest)
+
+    def test_advance_rejects_forged_root_with_empty_extension(
+        self, loaded_db
+    ):
+        """Regression: advance() only compared ``tree_root`` when the
+        extension was non-empty, so a same-height digest with the
+        right chain digest but a forged index root was adopted."""
+        from repro.core.ledger import LedgerDigest
+        from repro.crypto.hashing import hash_bytes
+
+        verifier = ClientVerifier()
+        digest = loaded_db.digest()
+        verifier.trust(digest)
+        forged = LedgerDigest(
+            height=digest.height,
+            chain_digest=digest.chain_digest,
+            tree_root=hash_bytes(b"forged-root"),
+        )
+        with pytest.raises(TamperDetectedError):
+            verifier.advance(forged, [])
+        assert verifier.detections == 1
+        assert verifier.trusted_digest == digest
+        # The honest same-height digest still advances (a no-op).
+        verifier.advance(digest, [])
+
+    def test_multi_proof_verification(self, loaded_db):
+        verifier = ClientVerifier()
+        verifier.trust(loaded_db.digest())
+        keys = [b"key0003", b"key0042", b"missing"]
+        values, proof = loaded_db.get_many_verified(keys)
+        assert values == [b"value3", b"value42", None]
+        assert verifier.verify(proof)
+        # Every deduped node is attributed to exactly one of hit/miss.
+        assert (
+            verifier.cache_hits + verifier.cache_misses
+            == len(proof.multi.nodes)
+        )
+
     def test_caching_keeps_soundness(self, loaded_db):
         verifier = ClientVerifier()
         verifier.trust(loaded_db.digest())

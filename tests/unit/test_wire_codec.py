@@ -20,7 +20,11 @@ import pytest
 
 from repro.core.database import SpitzDatabase
 from repro.core.ledger import LedgerDigest
-from repro.core.proofs import LedgerProof, LedgerRangeProof
+from repro.core.proofs import (
+    LedgerMultiProof,
+    LedgerProof,
+    LedgerRangeProof,
+)
 from repro.core.request_handler import Request, RequestKind, Response
 from repro.core.verifier import ClientVerifier
 from repro.crypto.hashing import Digest
@@ -121,6 +125,39 @@ class TestProofFraming:
         verifier.trust(db.digest())
         verifier.verify_or_raise(back)
 
+    def test_multi_proof_roundtrips_and_verifies(self):
+        db = _loaded_db()
+        values, proof = db.get_many_verified(
+            [b"key:01", b"key:05", b"no-such-key"]
+        )
+        assert values == [b"value-1", b"value-5", None]
+        back = _roundtrip_value(proof)
+        assert isinstance(back, LedgerMultiProof)
+        assert back == proof
+        verifier = ClientVerifier()
+        verifier.trust(db.digest())
+        verifier.verify_or_raise(back)
+
+    def test_truncated_multi_proof_frame_raises(self):
+        db = _loaded_db()
+        _values, proof = db.get_many_verified([b"key:01", b"key:02"])
+        frame = encode_value(proof)
+        del frame["$multi_proof"]["root"]
+        with pytest.raises(WireCodecError):
+            decode_value(frame)
+
+    def test_tampered_multi_proof_fails_verification_not_decoding(self):
+        db = _loaded_db()
+        _values, proof = db.get_many_verified([b"key:01", b"key:02"])
+        frame = encode_value(proof)
+        entries = frame["$multi_proof"]["entries"]
+        entries[0][1] = entries[1][1]  # claim another key's value
+        back = decode_value(frame)
+        assert isinstance(back, LedgerMultiProof)
+        verifier = ClientVerifier()
+        verifier.trust(db.digest())
+        assert not verifier.verify(back)
+
     def test_truncated_proof_frame_raises(self):
         db = _loaded_db()
         _value, proof = db.get_verified(b"key:01")
@@ -150,6 +187,7 @@ class TestProofFraming:
 class TestRequestEnvelopes:
     PAYLOADS = {
         RequestKind.GET: {"key": b"k"},
+        RequestKind.MULTI_GET: {"keys": [b"a", b"b", b"c"]},
         RequestKind.PUT: {"key": b"k", "value": b"v"},
         RequestKind.DELETE: {"key": b"k"},
         RequestKind.SCAN: {"low": b"a", "high": b"z"},
