@@ -873,6 +873,136 @@ def fig_multiproof(
 
 
 # ---------------------------------------------------------------------------
+# Sharding — write scaling and proof cost vs shard count
+# ---------------------------------------------------------------------------
+
+#: Shard-count ladder for the scaling figure.
+SHARD_LADDER = (1, 2, 4)
+#: Concurrent writer threads offered against every configuration.
+SHARD_WRITER_THREADS = 8
+SHARD_OPS_PER_THREAD = 40
+#: Simulated per-commit durability window, seconds.  Same convention
+#: as the saturation/HTTP figures' ``service_delay``: pure-Python
+#: compute is GIL-serialized, so threaded in-memory writes cannot
+#: show shard parallelism on one interpreter — but a real deployment's
+#: commit cost is the WAL fsync, which *does* overlap across shards
+#: (independent files, lock released in the kernel).  A commit hook
+#: sleeping inside each shard's commit lock models exactly that; the
+#: unslowed in-memory series is reported alongside so the figure
+#: never hides the GIL-bound number.
+SHARD_COMMIT_WINDOW = 0.005
+
+
+def _sharded_write_throughput(db, threads: int, ops_per_thread: int) -> float:
+    """Wall-clock ops/s for ``threads`` concurrent writers."""
+    import threading
+
+    barrier = threading.Barrier(threads + 1)
+
+    def writer(tid: int) -> None:
+        barrier.wait()
+        for i in range(ops_per_thread):
+            db.put(b"w:%d:%d" % (tid, i), b"v%d" % i)
+
+    workers = [
+        threading.Thread(target=writer, args=(tid,))
+        for tid in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    return threads * ops_per_thread / elapsed
+
+
+def fig_shard(
+    shard_ladder: Iterable[int] = SHARD_LADDER,
+    threads: int = SHARD_WRITER_THREADS,
+    ops_per_thread: int = SHARD_OPS_PER_THREAD,
+    commit_window: float = SHARD_COMMIT_WINDOW,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FigureResult:
+    """Write scaling across shard counts, plus the proof-cost tax.
+
+    For each shard count the same offered load (``threads`` writer
+    threads) runs twice:
+
+    - **commit window** — every shard carries a commit hook sleeping
+      ``commit_window`` seconds inside its commit lock (a stand-in for
+      the per-shard WAL fsync).  One shard serializes every commit
+      through one lock; N shards overlap N windows, so throughput
+      scales with the shard count — the property the sharded layout
+      exists to buy.
+    - **in-memory** — no window; GIL-serialized Python, reported so
+      the figure states plainly that compute-bound single-process
+      scaling is ~1x.
+
+    After the writes, every configuration (a) pushes one cross-shard
+    batch through the 2PC coordinator when there is more than one
+    shard, and (b) serves a verified point read whose
+    :class:`~repro.shard.proofs.ShardedProof` is checked by a fresh
+    :class:`~repro.core.verifier.ClientVerifier` against the pinned
+    digest-of-digests — a failed verification fails the figure.  The
+    proof-size series shows the membership-branch tax on top of the
+    single-ledger proof.
+    """
+    from repro.shard import ShardedDatabase
+
+    result = FigureResult(
+        figure="Shard",
+        title=(
+            f"Sharded writes: {threads} threads, "
+            f"{commit_window * 1000:.0f}ms commit window"
+        ),
+        x_label="#Shards",
+        y_label="Throughput (ops/s) / bytes",
+    )
+    windowed = result.series_named(
+        f"Write ops/s ({commit_window * 1000:.0f}ms commit window)"
+    )
+    in_memory = result.series_named("Write ops/s (in-memory)")
+    speedup = result.series_named("Window speedup vs 1 shard")
+    proof_bytes = result.series_named("Verified point proof (bytes)")
+    base_rate: Optional[float] = None
+    for num_shards in shard_ladder:
+        db = ShardedDatabase(num_shards=num_shards, metrics=metrics)
+        hook = lambda kind, payload: time.sleep(commit_window)  # noqa: E731
+        for shard in db.shards:
+            shard.add_commit_hook(hook)
+        rate = _sharded_write_throughput(db, threads, ops_per_thread)
+        windowed.add(num_shards, rate)
+        if base_rate is None:
+            base_rate = rate
+        speedup.add(num_shards, rate / base_rate)
+        for shard in db.shards:
+            shard.remove_commit_hook(hook)
+
+        plain = ShardedDatabase(num_shards=num_shards, metrics=metrics)
+        in_memory.add(
+            num_shards,
+            _sharded_write_throughput(plain, threads, ops_per_thread),
+        )
+
+        if num_shards > 1:
+            # One cross-shard batch through the 2PC coordinator, so the
+            # figure also covers the distributed write path.
+            db.put_batch(
+                {b"2pc:%d" % i: b"x%d" % i for i in range(num_shards * 4)}
+            )
+        value, proof = db.get_verified(b"w:0:0")
+        verifier = ClientVerifier(metrics=metrics)
+        verifier.trust(proof.digest)
+        verifier.verify_or_raise(proof)
+        if value != b"v0":
+            raise AssertionError("sharded verified read returned bad value")
+        proof_bytes.add(num_shards, float(proof.size_bytes))
+    return result
+
+
+# ---------------------------------------------------------------------------
 # command line
 # ---------------------------------------------------------------------------
 
@@ -889,6 +1019,7 @@ _RUNNERS = {
     "multiproof": lambda sizes, metrics=None: [
         fig_multiproof(metrics=metrics)
     ],
+    "shard": lambda sizes, metrics=None: [fig_shard(metrics=metrics)],
 }
 
 

@@ -26,6 +26,7 @@ on-disk layouts are supported, chosen by what ``DB`` points at:
     python -m repro.cli trace --ops 50
     python -m repro.cli slowest --ops 50 --limit 3
     python -m repro.cli serve --port 7421 --rate 200 --token secret
+    python -m repro.cli serve --port 7421 --shards 4
     python -m repro.cli loadgen --port 7421 --processes 4 --token secret
 
 (Installed as the ``spitz`` console script: ``spitz stats mydb.d``.)
@@ -396,14 +397,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         rate=args.rate,
         burst=args.burst,
         request_timeout=args.request_timeout,
+        shards=args.shards,
     )
     auth = "token auth" if args.token else "open (no auth)"
     limit = (
         f"{args.rate:g} req/s per client" if args.rate is not None
         else "unlimited"
     )
+    layout = f"{args.shards} shards" if args.shards > 1 else "1 ledger"
     print(f"serving on http://{service.address}  "
-          f"[{args.nodes} nodes, {auth}, rate {limit}]")
+          f"[{args.nodes} nodes, {layout}, {auth}, rate {limit}]")
     print("endpoints: /healthz /readyz /v1/stats /v1/digest "
           "POST /v1/request  (Ctrl-C to stop)")
     try:
@@ -607,6 +610,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission queue capacity (0 = unbounded)")
     p.add_argument("--durable-root", default=None,
                    help="serve a durable database rooted at this directory")
+    p.add_argument("--shards", type=int, default=1,
+                   help="hash-partition the keyspace across N shard "
+                        "ledgers behind one digest-of-digests (1 = single "
+                        "ledger)")
     p.add_argument("--token", action="append", default=[],
                    help="accepted auth token (repeatable; none = open)")
     p.add_argument("--rate", type=float, default=None,

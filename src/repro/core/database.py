@@ -91,6 +91,7 @@ class SpitzDatabase:
         certifier: Optional[object] = None,
         block_batch: int = 1,
         metrics: Optional[MetricsRegistry] = None,
+        oracle: Optional[object] = None,
     ):
         if block_batch < 1:
             raise ValueError("block_batch must be positive")
@@ -108,7 +109,11 @@ class SpitzDatabase:
         self.cells = CellStore(self.chunks)
         self.primary = BPlusTree()
         self.inverted = InvertedIndex()
-        self.txn_manager = TransactionManager(certifier=certifier)
+        # ``oracle`` lets a shard allocate from its own HLC (see
+        # repro.shard) instead of the default central TimestampOracle.
+        self.txn_manager = TransactionManager(
+            oracle=oracle, certifier=certifier
+        )
         self.oracle = self.txn_manager.oracle
         self.txn_manager.add_commit_listener(self._on_txn_commit)
         self._tables: Dict[str, TableSchema] = {}

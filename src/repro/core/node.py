@@ -326,8 +326,12 @@ class ProcessorNode:
     def __init__(self, name: str, db: SpitzDatabase, mq: MessageQueue):
         self.name = name
         self.handler = RequestHandler(db)
-        self.auditor = Auditor(db.ledger)
-        self.txn_manager = db.txn_manager
+        # A sharded facade has one ledger and one transaction manager
+        # *per shard* rather than a single pair to mediate; its own
+        # coordinator plays the auditor's role for cross-shard writes.
+        ledger = getattr(db, "ledger", None)
+        self.auditor = Auditor(ledger) if ledger is not None else None
+        self.txn_manager = getattr(db, "txn_manager", None)
         self._mq = mq
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -455,10 +459,26 @@ class SpitzCluster:
         metrics: Optional[MetricsRegistry] = None,
         queue_capacity: Optional[int] = None,
         overload_window: float = 0.05,
+        shards: int = 1,
     ):
         if nodes < 1:
             raise ValueError("need at least one processor node")
-        if durable_root is not None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if shards > 1:
+            # Imported here: the shard facade sits above core in the
+            # layering (same pattern as the durability import below).
+            from repro.shard import ShardedDatabase
+
+            self.durable = None
+            self.db = ShardedDatabase(
+                num_shards=shards,
+                mask_bits=mask_bits,
+                metrics=metrics,
+                durable_root=durable_root,
+                sync_every=sync_every,
+            )
+        elif durable_root is not None:
             # Imported here: durability sits above core in the layering.
             from repro.durability import DurableDatabase
 
@@ -485,9 +505,11 @@ class SpitzCluster:
 
     def checkpoint(self):
         """Durable mode only: snapshot state and truncate the WAL."""
-        if self.durable is None:
-            raise RuntimeError("cluster is not running in durable mode")
-        return self.durable.checkpoint()
+        if self.durable is not None:
+            return self.durable.checkpoint()
+        if getattr(self.db, "_durables", None):
+            return self.db.checkpoint()
+        raise RuntimeError("cluster is not running in durable mode")
 
     def start(self) -> None:
         for node in self.nodes:
@@ -523,6 +545,10 @@ class SpitzCluster:
             )
         if self.durable is not None:
             self.durable.close()
+        elif hasattr(self.db, "close"):
+            # Sharded facade: releases per-shard WAL handles (no-op for
+            # in-memory shards).
+            self.db.close()
 
     def close(self) -> None:
         """Alias of :meth:`stop` (kept for context-manager symmetry)."""

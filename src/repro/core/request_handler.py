@@ -124,9 +124,18 @@ class RequestHandler:
         if not request.verify:
             result, proof = self._dispatch(request)
             return result, proof, None
-        with self._db.txn_manager.commit_lock:
+        lock = getattr(self._db, "commit_lock", None)
+        if lock is None:
+            lock = self._db.txn_manager.commit_lock
+        with lock:
             result, proof = self._dispatch(request)
-            digest = self._db.digest()
+            # Sharded proofs embed the digest-of-digests they were
+            # built against (per-shard leaves are captured atomically
+            # inside the facade); re-deriving it here could pair the
+            # proof with a root that moved under a concurrent write.
+            digest = getattr(proof, "digest", None)
+            if digest is None:
+                digest = self._db.digest()
         return result, proof, digest
 
     def _dispatch(self, request: Request):

@@ -94,6 +94,20 @@ class ClientVerifier:
         proof when the link between the old and new digests must
         itself be verified.
         """
+        if (
+            self._trusted is not None
+            and digest.__class__ is not self._trusted.__class__
+        ):
+            # A single-ledger digest offered where a sharded one is
+            # pinned (or vice versa) is not progress on the same
+            # ledger; heights of different digest kinds are not
+            # comparable, so treat the swap as a fork attempt.
+            self._record_detection()
+            raise TamperDetectedError(
+                f"digest kind changed: trusted "
+                f"{self._trusted.__class__.__name__}, offered "
+                f"{digest.__class__.__name__}"
+            )
         if self._trusted is not None and digest.height < self._trusted.height:
             self._record_detection()
             raise TamperDetectedError(
@@ -274,8 +288,13 @@ class ClientVerifier:
             nodes = proof.siri.nodes
         elif isinstance(proof, LedgerMultiProof):
             nodes = proof.multi.nodes
-        else:
+        elif isinstance(proof, LedgerRangeProof):
             nodes = proof.range_proof.nodes
+        else:
+            # Sharded (and future) proof types advertise their index
+            # nodes themselves; anything that doesn't simply skips
+            # cache accounting.
+            nodes = getattr(proof, "cacheable_nodes", ())
         misses = len(self._node_cache) - nodes_before
         hits = max(len(nodes) - misses, 0)
         self.cache_hits += hits
@@ -292,10 +311,13 @@ class ClientVerifier:
                 f"multi:{len(proof.multi.entries)}keys"
                 f"@block{proof.block.height}"
             )
-        return (
-            f"range:{proof.range_proof.low!r}..{proof.range_proof.high!r}"
-            f"@block{proof.block.height}"
-        )
+        if isinstance(proof, LedgerRangeProof):
+            return (
+                f"range:{proof.range_proof.low!r}.."
+                f"{proof.range_proof.high!r}@block{proof.block.height}"
+            )
+        label = getattr(proof, "label", None)
+        return label if label is not None else type(proof).__name__
 
 
 class VerifiedWriter:

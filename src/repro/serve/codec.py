@@ -25,6 +25,13 @@ Framing rules — JSON has no bytes, so binary values are *tagged*:
   arbitrary objects through the codec itself.  (The SIRI node blobs
   *inside* a proof are the index's own node encoding; the verifier
   decodes them only after their digests check out.)
+- :class:`~repro.shard.digest.ShardedDigest` →
+  ``{"$sharded_digest": {"num_shards", "height", "root"}}``;
+- :class:`~repro.shard.proofs.ShardedProof` /
+  :class:`~repro.shard.proofs.ShardedMultiProof` →
+  ``{"$sharded_proof": ...}`` / ``{"$sharded_multi_proof": ...}``: the
+  inner single-ledger proof frames plus an explicit shard-membership
+  branch (shard id, shard digest, Merkle path) per part;
 - tuples → JSON lists (decoders restore tuples where the proof schema
   requires them).
 
@@ -49,8 +56,15 @@ from repro.core.proofs import (
 from repro.core.request_handler import Request, RequestKind, Response
 from repro.crypto.hashing import Digest
 from repro.errors import SpitzError
+from repro.crypto.merkle import MerkleProof
 from repro.indexes.pos_tree import PosMultiProof, PosRangeProof
 from repro.indexes.siri import SiriProof
+from repro.shard.digest import ShardMembership, ShardedDigest
+from repro.shard.proofs import (
+    ShardedMultiPart,
+    ShardedMultiProof,
+    ShardedProof,
+)
 
 
 class WireCodecError(SpitzError):
@@ -85,6 +99,12 @@ def encode_value(value: Any) -> Any:
         return {"$range_proof": _encode_range_proof(value)}
     if isinstance(value, LedgerMultiProof):
         return {"$multi_proof": _encode_multi_proof(value)}
+    if isinstance(value, ShardedDigest):
+        return {"$sharded_digest": _encode_sharded_digest(value)}
+    if isinstance(value, ShardedProof):
+        return {"$sharded_proof": _encode_sharded_proof(value)}
+    if isinstance(value, ShardedMultiProof):
+        return {"$sharded_multi_proof": _encode_sharded_multi_proof(value)}
     if isinstance(value, (bytes, bytearray)):
         return {"$bytes": _b64(bytes(value))}
     if isinstance(value, (list, tuple)):
@@ -118,6 +138,12 @@ def decode_value(value: Any) -> Any:
             return _decode_range_proof(value["$range_proof"])
         if "$multi_proof" in value:
             return _decode_multi_proof(value["$multi_proof"])
+        if "$sharded_digest" in value:
+            return _decode_sharded_digest(value["$sharded_digest"])
+        if "$sharded_proof" in value:
+            return _decode_sharded_proof(value["$sharded_proof"])
+        if "$sharded_multi_proof" in value:
+            return _decode_sharded_multi_proof(value["$sharded_multi_proof"])
         return {key: decode_value(item) for key, item in value.items()}
     if isinstance(value, list):
         return [decode_value(item) for item in value]
@@ -136,6 +162,8 @@ def to_jsonable(value: Any) -> Any:
         return value
     if isinstance(value, LedgerDigest):
         return {"$ledger_digest": _encode_ledger_digest(value)}
+    if isinstance(value, ShardedDigest):
+        return {"$sharded_digest": _encode_sharded_digest(value)}
     if isinstance(value, (bytes, bytearray)):
         return {"$bytes": _b64(bytes(value))}
     if isinstance(value, (list, tuple)):
@@ -145,7 +173,8 @@ def to_jsonable(value: Any) -> Any:
             key if isinstance(key, str) else repr(key): to_jsonable(item)
             for key, item in value.items()
         }
-    if isinstance(value, (LedgerProof, LedgerRangeProof, LedgerMultiProof)):
+    if isinstance(value, (LedgerProof, LedgerRangeProof, LedgerMultiProof,
+                          ShardedProof, ShardedMultiProof)):
         return encode_value(value)
     return repr(value)
 
@@ -311,6 +340,118 @@ def _decode_multi_proof(frame: Any) -> LedgerMultiProof:
 
 
 # ---------------------------------------------------------------------------
+# sharded digests and proofs
+# ---------------------------------------------------------------------------
+
+def _encode_sharded_digest(digest: ShardedDigest) -> Dict[str, Any]:
+    return {
+        "num_shards": digest.num_shards,
+        "height": digest.height,
+        "root": _encode_digest(digest.root),
+    }
+
+
+def _decode_sharded_digest(frame: Any) -> ShardedDigest:
+    try:
+        return ShardedDigest(
+            num_shards=int(frame["num_shards"]),
+            height=int(frame["height"]),
+            root=_decode_digest(frame["root"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise WireCodecError(
+            f"malformed sharded-digest frame: {error}"
+        ) from None
+
+
+def _encode_membership(membership: ShardMembership) -> Dict[str, Any]:
+    return {
+        "shard_id": membership.shard_id,
+        "shard_digest": _encode_ledger_digest(membership.shard_digest),
+        "leaf_index": membership.proof.leaf_index,
+        "tree_size": membership.proof.tree_size,
+        "path": [
+            [_encode_digest(sibling), bool(is_left)]
+            for sibling, is_left in membership.proof.path
+        ],
+    }
+
+
+def _decode_membership(frame: Any) -> ShardMembership:
+    try:
+        return ShardMembership(
+            shard_id=int(frame["shard_id"]),
+            shard_digest=_decode_ledger_digest(frame["shard_digest"]),
+            proof=MerkleProof(
+                leaf_index=int(frame["leaf_index"]),
+                tree_size=int(frame["tree_size"]),
+                path=tuple(
+                    (_decode_digest(sibling), bool(is_left))
+                    for sibling, is_left in frame["path"]
+                ),
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireCodecError(
+            f"malformed shard-membership frame: {error}"
+        ) from None
+
+
+def _encode_sharded_proof(proof: ShardedProof) -> Dict[str, Any]:
+    return {
+        "inner": _encode_point_proof(proof.inner),
+        "membership": _encode_membership(proof.membership),
+        "digest": _encode_sharded_digest(proof.digest),
+    }
+
+
+def _decode_sharded_proof(frame: Any) -> ShardedProof:
+    try:
+        return ShardedProof(
+            inner=_decode_point_proof(frame["inner"]),
+            membership=_decode_membership(frame["membership"]),
+            digest=_decode_sharded_digest(frame["digest"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise WireCodecError(
+            f"malformed sharded-proof frame: {error}"
+        ) from None
+
+
+def _encode_sharded_multi_proof(proof: ShardedMultiProof) -> Dict[str, Any]:
+    return {
+        "keys": [_b64(key) for key in proof.keys],
+        "parts": [
+            {
+                "membership": _encode_membership(part.membership),
+                "multi": _encode_multi_proof(part.multi),
+            }
+            for part in proof.parts
+        ],
+        "digest": _encode_sharded_digest(proof.digest),
+    }
+
+
+def _decode_sharded_multi_proof(frame: Any) -> ShardedMultiProof:
+    try:
+        return ShardedMultiProof(
+            keys=tuple(_unb64(key) for key in frame["keys"]),
+            parts=tuple(
+                ShardedMultiPart(
+                    membership=_decode_membership(part["membership"]),
+                    multi=_decode_multi_proof(part["multi"]),
+                )
+                for part in frame["parts"]
+            ),
+            digest=_decode_sharded_digest(frame["digest"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise WireCodecError(
+            f"malformed sharded-multi-proof frame: {error}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
 # request / response envelopes
 # ---------------------------------------------------------------------------
 
@@ -348,7 +489,7 @@ def encode_response(response: Response) -> Dict[str, Any]:
         "proof": encode_value(response.proof),
         "digest": (
             None if response.digest is None
-            else {"$ledger_digest": _encode_ledger_digest(response.digest)}
+            else encode_value(response.digest)
         ),
         "error": response.error,
         "retryable": bool(response.retryable),
@@ -358,11 +499,11 @@ def encode_response(response: Response) -> Dict[str, Any]:
 def decode_response(frame: Any) -> Response:
     if not isinstance(frame, dict):
         raise WireCodecError("response frame must be a JSON object")
-    digest: Optional[LedgerDigest] = None
+    digest: Optional[object] = None
     digest_frame = frame.get("digest")
     if digest_frame is not None:
         decoded = decode_value(digest_frame)
-        if not isinstance(decoded, LedgerDigest):
+        if not isinstance(decoded, (LedgerDigest, ShardedDigest)):
             raise WireCodecError("response digest frame is not a digest")
         digest = decoded
     return Response(

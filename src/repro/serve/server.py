@@ -511,6 +511,7 @@ def serve_cluster(
     burst: Optional[float] = None,
     request_timeout: float = 10.0,
     metrics=None,
+    shards: int = 1,
 ) -> ClusterService:
     """Build, start and front a cluster in one call (CLI and bench)."""
     cluster = SpitzCluster(
@@ -519,6 +520,7 @@ def serve_cluster(
         queue_capacity=queue_capacity,
         overload_window=overload_window,
         metrics=metrics,
+        shards=shards,
     )
     cluster.start()
     server = SpitzHTTPServer(

@@ -1,0 +1,123 @@
+"""The digest-of-digests: one pinned root over N shard ledgers.
+
+Each shard seals its own hash-chained ledger and publishes a
+:class:`~repro.core.ledger.LedgerDigest`.  The facade commits to the
+whole fleet with a Merkle root over canonical per-shard leaves — a
+client pins that single root and every proof carries a membership
+branch from its shard's digest up to it, so trust still reduces to one
+32-byte value exactly as in the single-ledger system (Section 5.3).
+
+Monotonicity: :attr:`ShardedDigest.height` is the *sum* of shard
+heights.  Shard ledgers are append-only, so the height vector is
+componentwise non-decreasing — two honest roots with equal total
+height commit to identical vectors, which is what lets
+:class:`~repro.core.verifier.ClientVerifier.observe` reuse its
+equal-height-fork rule unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.ledger import LedgerDigest
+from repro.crypto.hashing import Digest
+from repro.crypto.merkle import MerkleProof, MerkleTree
+
+#: Domain tag for shard leaves: a leaf can never collide with interior
+#: nodes (Merkle domain separation) nor with other leaf vocabularies.
+_LEAF_TAG = b"spitz-shard-leaf\x00"
+
+
+def shard_leaf(shard_id: int, digest: LedgerDigest) -> bytes:
+    """Canonical leaf encoding binding a shard id to its digest."""
+    return (
+        _LEAF_TAG
+        + shard_id.to_bytes(4, "big")
+        + digest.height.to_bytes(8, "big")
+        + digest.chain_digest
+        + digest.tree_root
+    )
+
+
+def build_shard_tree(digests: Sequence[LedgerDigest]) -> MerkleTree:
+    """Merkle tree with leaf ``i`` committing to shard ``i``'s digest."""
+    return MerkleTree(
+        [shard_leaf(i, digest) for i, digest in enumerate(digests)]
+    )
+
+
+@dataclass(frozen=True)
+class ShardedDigest:
+    """What a client pins against a sharded deployment.
+
+    Attribute names mirror :class:`~repro.core.ledger.LedgerDigest`
+    (``height``/``chain_digest``/``tree_root``) so the client verifier's
+    fork-detection and anchoring logic applies unchanged; for a sharded
+    deployment both digest views *are* the Merkle root.
+    """
+
+    num_shards: int
+    #: Sum of per-shard ledger heights — strictly monotone under writes.
+    height: int
+    root: Digest
+
+    @property
+    def chain_digest(self) -> Digest:
+        return self.root
+
+    @property
+    def tree_root(self) -> Digest:
+        return self.root
+
+
+def digest_of_digests(digests: Sequence[LedgerDigest]) -> ShardedDigest:
+    """Fold per-shard digests into the single top-level digest."""
+    tree = build_shard_tree(digests)
+    return ShardedDigest(
+        num_shards=len(digests),
+        height=sum(digest.height for digest in digests),
+        root=tree.root,
+    )
+
+
+@dataclass(frozen=True)
+class ShardMembership:
+    """The shard-membership branch carried by every sharded proof.
+
+    Binds one shard's :class:`~repro.core.ledger.LedgerDigest` under
+    the top-level root: the Merkle path proves leaf ``shard_id``
+    commits to exactly this digest, and the inner ledger proof then
+    verifies against ``shard_digest.chain_digest`` as usual.
+    """
+
+    shard_id: int
+    shard_digest: LedgerDigest
+    proof: MerkleProof
+
+    def verify(self, trusted_root: Digest) -> bool:
+        if self.proof.leaf_index != self.shard_id:
+            return False
+        return self.proof.verify(
+            shard_leaf(self.shard_id, self.shard_digest), trusted_root
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        # shard id + height + two digests + the Merkle path.
+        return 4 + 8 + 64 + self.proof.size_bytes
+
+
+def memberships_for(
+    digests: Sequence[LedgerDigest], shard_ids: Sequence[int]
+) -> List[ShardMembership]:
+    """Membership branches for ``shard_ids`` under one shared tree."""
+    tree = build_shard_tree(digests)
+    return [
+        ShardMembership(
+            shard_id=shard_id,
+            shard_digest=digests[shard_id],
+            proof=tree.prove(shard_id),
+        )
+        for shard_id in shard_ids
+    ]

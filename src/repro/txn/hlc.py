@@ -194,6 +194,16 @@ class HlcOracle:
             )
         )
 
+    def advance_to(self, timestamp: int) -> None:
+        """Ensure future allocations exceed ``timestamp``.
+
+        Oracle-interface compatibility: crash recovery replays logged
+        commits carrying explicit timestamps and must not let the node
+        re-issue them.  For an HLC this is exactly a witness — merging
+        the replayed stamp pushes every later allocation past it.
+        """
+        self.witness(timestamp)
+
     def current(self) -> int:
         """Most recent allocation boundary (monitoring only)."""
         return (self.clock.peek().as_int() << self.NODE_BITS) | self.node_id

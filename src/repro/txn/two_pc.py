@@ -7,12 +7,20 @@ made serializable" (Section 5.2).  Participants are in-process here
 (the distribution is simulated, per DESIGN.md), but the protocol —
 prepare votes, all-or-nothing outcome, participant failure handling —
 is complete and failure-injectable for tests.
+
+Causal ordering (Section 5.2's HLC scheme): every prepare/commit
+message can carry the coordinator's packed HLC timestamp, and every
+vote/ack carries the participant's.  Both sides :meth:`~repro.txn.hlc.
+HlcOracle.witness` what they receive, so a commit observed on one
+shard pushes every other involved shard's next allocation strictly
+past it — no central oracle required.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, List, Mapping
+import threading
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.errors import TransactionAborted, TwoPhaseCommitError
 from repro.txn.manager import (
@@ -27,30 +35,80 @@ class Vote(enum.Enum):
     NO = "no"
 
 
+def _witnessing_oracle(candidate: Any) -> Optional[Any]:
+    """Return ``candidate`` if it can witness remote timestamps."""
+    if candidate is not None and callable(getattr(candidate, "witness", None)):
+        return candidate
+    return None
+
+
 class Participant:
     """One 2PC participant wrapping a node-local transaction manager.
 
     Failure injection: set :attr:`fail_next_prepare` /
     :attr:`fail_next_commit` to make the next corresponding request
     raise, emulating a crashed or partitioned node.
+
+    When the manager allocates from an :class:`~repro.txn.hlc.HlcOracle`
+    (or one is passed explicitly), timestamps carried on incoming
+    prepare/commit messages are witnessed, and outgoing votes/acks carry
+    this node's stamp back (:meth:`send_timestamp`).
     """
 
-    def __init__(self, name: str, manager: TransactionManager):
+    def __init__(
+        self,
+        name: str,
+        manager: TransactionManager,
+        oracle: Optional[Any] = None,
+    ):
         self.name = name
         self.manager = manager
+        self.oracle = _witnessing_oracle(
+            oracle if oracle is not None else getattr(manager, "oracle", None)
+        )
+        self._lock = threading.Lock()
         self._prepared: Dict[str, Transaction] = {}
         self.fail_next_prepare = False
         self.fail_next_commit = False
+        #: Stale branches discarded because a coordinator re-prepared
+        #: the same global id (coordinator retry after a lost vote).
+        self.duplicates_aborted = 0
+
+    def _witness(self, timestamp: Optional[int]) -> None:
+        if timestamp is not None and self.oracle is not None:
+            self.oracle.witness(timestamp)
+
+    def send_timestamp(self) -> Optional[int]:
+        """Stamp for an outgoing vote/ack message (None without HLC)."""
+        if self.oracle is not None and callable(
+            getattr(self.oracle, "current", None)
+        ):
+            return self.oracle.current()
+        return None
 
     def prepare(
-        self, global_id: str, writes: Mapping[Any, Any]
+        self,
+        global_id: str,
+        writes: Mapping[Any, Any],
+        timestamp: Optional[int] = None,
     ) -> Vote:
-        """Phase 1: stage ``writes`` locally and vote."""
+        """Phase 1: stage ``writes`` locally and vote.
+
+        A duplicate ``global_id`` means the coordinator retried after
+        losing our vote: the stale staged branch is aborted first so a
+        re-prepare can never strand an earlier transaction.
+        """
+        self._witness(timestamp)
         if self.fail_next_prepare:
             self.fail_next_prepare = False
             raise TwoPhaseCommitError(
                 f"participant {self.name} failed during prepare"
             )
+        with self._lock:
+            stale = self._prepared.pop(global_id, None)
+        if stale is not None:
+            stale.abort()
+            self.duplicates_aborted += 1
         txn = self.manager.begin(IsolationLevel.SERIALIZABLE)
         try:
             for key, value in writes.items():
@@ -61,17 +119,22 @@ class Participant:
         except TransactionAborted:
             txn.abort()
             return Vote.NO
-        self._prepared[global_id] = txn
+        with self._lock:
+            self._prepared[global_id] = txn
         return Vote.YES
 
-    def commit(self, global_id: str) -> None:
+    def commit(
+        self, global_id: str, timestamp: Optional[int] = None
+    ) -> None:
         """Phase 2: commit the staged branch."""
+        self._witness(timestamp)
         if self.fail_next_commit:
             self.fail_next_commit = False
             raise TwoPhaseCommitError(
                 f"participant {self.name} failed during commit"
             )
-        txn = self._prepared.pop(global_id, None)
+        with self._lock:
+            txn = self._prepared.pop(global_id, None)
         if txn is None:
             raise TwoPhaseCommitError(
                 f"participant {self.name} has no prepared branch "
@@ -81,12 +144,19 @@ class Participant:
 
     def abort(self, global_id: str) -> None:
         """Phase 2 (abort path): discard the staged branch."""
-        txn = self._prepared.pop(global_id, None)
+        with self._lock:
+            txn = self._prepared.pop(global_id, None)
         if txn is not None:
             txn.abort()
 
     def is_prepared(self, global_id: str) -> bool:
-        return global_id in self._prepared
+        with self._lock:
+            return global_id in self._prepared
+
+    def prepared_count(self) -> int:
+        """Number of staged (in-doubt) branches — 0 when quiescent."""
+        with self._lock:
+            return len(self._prepared)
 
 
 class TwoPhaseCoordinator:
@@ -94,15 +164,36 @@ class TwoPhaseCoordinator:
 
     The decision log (:attr:`log`) is the coordinator's durable state:
     a recovering participant would consult it to resolve in-doubt
-    branches.
+    branches.  Give the coordinator its own
+    :class:`~repro.txn.hlc.HlcOracle` to stamp prepare/commit messages;
+    participant votes/acks are witnessed back, keeping every involved
+    node's clock ahead of every decision it has observed.
     """
 
-    def __init__(self, participants: List[Participant]):
+    def __init__(
+        self,
+        participants: List[Participant],
+        oracle: Optional[Any] = None,
+    ):
         if not participants:
             raise ValueError("at least one participant required")
         self.participants = {p.name: p for p in participants}
+        self.oracle = _witnessing_oracle(oracle)
         self.log: List[tuple] = []
+        self._lock = threading.Lock()
         self._next_id = 0
+
+    def _send_timestamp(self) -> Optional[int]:
+        if self.oracle is not None:
+            return self.oracle.next_timestamp()
+        return None
+
+    def _witness_reply(self, participant: Participant) -> None:
+        if self.oracle is None:
+            return
+        stamp = participant.send_timestamp()
+        if stamp is not None:
+            self.oracle.witness(stamp)
 
     def execute(
         self, writes_by_participant: Mapping[str, Mapping[Any, Any]]
@@ -110,13 +201,18 @@ class TwoPhaseCoordinator:
         """Run one global transaction; return its global id.
 
         Raises :class:`TransactionAborted` when any participant votes
-        NO or fails during prepare (all branches are rolled back), and
+        NO or fails during prepare — with *any* exception, not just the
+        protocol's own: once prepare crosses a node boundary, timeouts
+        and codec errors are the norm, and every already-prepared
+        branch must still be rolled back.  Raises
         :class:`TwoPhaseCommitError` when a participant fails *after*
         the commit decision (the decision stands; the failed branch is
         left for recovery, matching real 2PC semantics).
         """
-        self._next_id += 1
-        global_id = f"gtx-{self._next_id}"
+        with self._lock:
+            self._next_id += 1
+            txn_seq = self._next_id
+        global_id = f"gtx-{txn_seq}"
         involved = []
         for name in writes_by_participant:
             if name not in self.participants:
@@ -125,31 +221,43 @@ class TwoPhaseCoordinator:
 
         # Phase 1: prepare.
         votes: Dict[str, Vote] = {}
-        try:
-            for participant in involved:
+        prepare_error: Optional[BaseException] = None
+        for participant in involved:
+            try:
                 votes[participant.name] = participant.prepare(
-                    global_id, writes_by_participant[participant.name]
+                    global_id,
+                    writes_by_participant[participant.name],
+                    timestamp=self._send_timestamp(),
                 )
-        except TwoPhaseCommitError:
-            votes[participant.name] = Vote.NO  # crashed == NO
+            except Exception as error:  # crashed == NO, whatever the cause
+                votes[participant.name] = Vote.NO
+                prepare_error = error
+                break
+            self._witness_reply(participant)
 
         if any(vote is Vote.NO for vote in votes.values()):
-            self.log.append((global_id, "abort"))
+            with self._lock:
+                self.log.append((global_id, "abort"))
             for participant in involved:
                 participant.abort(global_id)
             raise TransactionAborted(
-                self._next_id,
+                txn_seq,
                 f"2PC abort: votes {sorted(votes.items())}",
-            )
+            ) from prepare_error
 
         # Phase 2: commit (decision is logged first — presumed commit).
-        self.log.append((global_id, "commit"))
+        with self._lock:
+            self.log.append((global_id, "commit"))
         failures: List[str] = []
         for participant in involved:
             try:
-                participant.commit(global_id)
-            except TwoPhaseCommitError:
+                participant.commit(
+                    global_id, timestamp=self._send_timestamp()
+                )
+            except Exception:  # post-decision failure: leave for recovery
                 failures.append(participant.name)
+            else:
+                self._witness_reply(participant)
         if failures:
             raise TwoPhaseCommitError(
                 f"committed globally but participants {failures} must "
@@ -162,11 +270,15 @@ class TwoPhaseCoordinator:
 
         Returns the number of branches resolved.
         """
+        with self._lock:
+            decisions = list(self.log)
         resolved = 0
-        for global_id, decision in self.log:
+        for global_id, decision in decisions:
             if participant.is_prepared(global_id):
                 if decision == "commit":
-                    participant.commit(global_id)
+                    participant.commit(
+                        global_id, timestamp=self._send_timestamp()
+                    )
                 else:
                     participant.abort(global_id)
                 resolved += 1
