@@ -32,7 +32,9 @@ from repro.forkbase.store import ForkBase
 from repro.integration.nonintrusive import NonIntrusiveVDB
 from repro.kvstore.kvs import ImmutableKVS
 from repro.bench.metrics import FigureResult
-from repro.obs.metrics import MetricsRegistry, snapshot_delta
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, snapshot_delta
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.timeseries import TelemetryPlane
 from repro.workloads.generator import Operation, WorkloadGenerator
 from repro.workloads.wiki import WikiWorkload, naive_storage_bytes
 
@@ -1003,6 +1005,103 @@ def fig_shard(
 
 
 # ---------------------------------------------------------------------------
+# Figure obs — telemetry-plane overhead ladder
+# ---------------------------------------------------------------------------
+
+#: Interleaved best-of trials for the overhead ladder: each round
+#: measures every config once back-to-back, so scheduler noise hits
+#: all three configs alike instead of whichever ran last.
+OBS_TRIALS = 7
+
+#: Aggressive sampling cadences for the bench — a 50ms telemetry slot
+#: and 5ms profiler interval tick 20x/200x per second, far above the
+#: production 1s slot, so the measured overhead upper-bounds the real
+#: deployment's.
+OBS_SLOT_SECONDS = 0.05
+OBS_PROFILE_INTERVAL = 0.005
+
+
+def fig_obs(
+    sizes: Optional[List[int]] = None,
+    seed: int = 1,
+) -> FigureResult:
+    """Read-path overhead of the telemetry plane: off / on / on+profiler.
+
+    Three identical databases serve the same read workload: one on a
+    disabled registry (no instruments, no ticker), one fully
+    instrumented with a live :class:`TelemetryPlane` ticking at
+    :data:`OBS_SLOT_SECONDS`, and one with the sampling profiler
+    running on top.  The acceptance bar (and the existing budget guard
+    in ``test_bench_shapes``) is telemetry-on within 5% of off.
+
+    Owns its registries by construction — the point is comparing
+    enabled vs disabled — so unlike the other figures it does not
+    record into the harness's shared registry.  Ladder is truncated to
+    the first three rungs: overhead ratios are size-insensitive and
+    the full ladder would triple the bench's load time for no signal.
+    """
+    sizes = (sizes if sizes is not None else sizes_for(DEFAULT_SCALE))[:3]
+    result = FigureResult(
+        figure="Figure obs",
+        title="Telemetry plane read-path overhead",
+        x_label="#Records",
+        y_label="Throughput (ops/s)",
+    )
+    off_series = result.series_named("Telemetry off")
+    on_series = result.series_named("Telemetry on")
+    prof_series = result.series_named("Telemetry on + profiler")
+    on_overhead = result.series_named("Overhead on vs off (%)")
+    prof_overhead = result.series_named("Overhead on+profiler vs off (%)")
+    for n in sizes:
+        gen = WorkloadGenerator(n, seed=seed)
+        db_off = _load_spitz(gen, NULL_REGISTRY)
+        registry_on = MetricsRegistry()
+        db_on = _load_spitz(gen, registry_on)
+        registry_prof = MetricsRegistry()
+        db_prof = _load_spitz(gen, registry_prof)
+        plane_on = TelemetryPlane(
+            registry_on, slot_seconds=OBS_SLOT_SECONDS
+        )
+        plane_prof = TelemetryPlane(
+            registry_prof, slot_seconds=OBS_SLOT_SECONDS
+        )
+        profiler = SamplingProfiler(interval=OBS_PROFILE_INTERVAL)
+        _settle_gc()
+        # A 200-op window is ~0.5ms at these rates — small enough for
+        # one scheduler preemption to swing a ratio by 10%+.  Repeat
+        # the op list so each timed window spans a few milliseconds.
+        read_ops = list(gen.reads(OPS_DEFAULT)) * 10
+        configs = [
+            ("off", lambda op: db_off.get(op.key)),
+            ("on", lambda op: db_on.get(op.key)),
+            ("profiler", lambda op: db_prof.get(op.key)),
+        ]
+        best = {label: 0.0 for label, _ in configs}
+        plane_on.start()
+        plane_prof.start()
+        profiler.start()
+        try:
+            for _ in range(OBS_TRIALS):
+                for label, action in configs:
+                    best[label] = max(
+                        best[label],
+                        _throughput_over(read_ops, action, trials=1),
+                    )
+        finally:
+            profiler.stop()
+            plane_prof.stop()
+            plane_on.stop()
+        off_series.add(n, best["off"])
+        on_series.add(n, best["on"])
+        prof_series.add(n, best["profiler"])
+        on_overhead.add(n, 100.0 * (1.0 - best["on"] / best["off"]))
+        prof_overhead.add(
+            n, 100.0 * (1.0 - best["profiler"] / best["off"])
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # command line
 # ---------------------------------------------------------------------------
 
@@ -1020,6 +1119,9 @@ _RUNNERS = {
         fig_multiproof(metrics=metrics)
     ],
     "shard": lambda sizes, metrics=None: [fig_shard(metrics=metrics)],
+    # fig_obs compares enabled vs disabled registries, so it owns its
+    # registries rather than sharing the harness's.
+    "obs": lambda sizes, metrics=None: [fig_obs(sizes)],
 }
 
 

@@ -28,6 +28,9 @@ on-disk layouts are supported, chosen by what ``DB`` points at:
     python -m repro.cli serve --port 7421 --rate 200 --token secret
     python -m repro.cli serve --port 7421 --shards 4
     python -m repro.cli loadgen --port 7421 --processes 4 --token secret
+    python -m repro.cli stats mydb.d --prom
+    python -m repro.cli top --port 7421
+    python -m repro.cli profile --ops 100 > profile.folded
 
 (Installed as the ``spitz`` console script: ``spitz stats mydb.d``.)
 
@@ -254,11 +257,22 @@ def cmd_stats(args: argparse.Namespace) -> int:
     ``RequestKind.STATS`` request — here it covers whatever the open
     itself did (recovery replay, WAL fsyncs, chunk dedup state), which
     is what an operator inspecting a database at rest cares about.
-    ``--json`` emits the machine frame; the default is a readable
-    table.
+    ``--json`` emits the machine frame; ``--prom`` the Prometheus
+    text rendering (what a running server serves at ``/metrics``);
+    the default is a readable table.
     """
     with _Session(args.db) as session:
         snapshot = session.db.metrics_snapshot()
+        if getattr(args, "prom", False):
+            from repro.obs.exposition import render_prometheus
+
+            print(
+                render_prometheus(
+                    session.db.metrics.exposition_snapshot()
+                ),
+                end="",
+            )
+            return 0
     if args.json:
         _print_snapshot_json(snapshot)
         return 0
@@ -407,7 +421,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     layout = f"{args.shards} shards" if args.shards > 1 else "1 ledger"
     print(f"serving on http://{service.address}  "
           f"[{args.nodes} nodes, {layout}, {auth}, rate {limit}]")
-    print("endpoints: /healthz /readyz /v1/stats /v1/digest "
+    print("endpoints: /healthz /readyz /metrics /v1/stats /v1/digest "
           "POST /v1/request  (Ctrl-C to stop)")
     try:
         while True:
@@ -448,6 +462,154 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         timeout=args.timeout,
     )
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _fetch_stats(host: str, port: int, timeout: float = 5.0) -> dict:
+    from urllib.request import urlopen
+
+    with urlopen(
+        f"http://{host}:{port}/v1/stats", timeout=timeout
+    ) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _render_top(
+    snapshot: dict, prev: Optional[dict], elapsed: Optional[float]
+) -> str:
+    """One ``spitz top`` frame from a ``/v1/stats`` payload.
+
+    Windowed signals (RPS, percentiles, error rate, SLO states) come
+    from the server's telemetry plane; per-shard write rates are
+    computed client-side from successive poll deltas, since shard
+    snapshots carry cumulative counters only.
+    """
+    lines: List[str] = []
+    windows = snapshot.get("windows", {}).get("windows", {})
+    fast_label = "60s" if "60s" in windows else next(iter(windows), None)
+    fast = windows.get(fast_label, {}) if fast_label else {}
+    rates = fast.get("rates", {})
+    rps = rates.get("requests.total", 0.0)
+    err_rate = rates.get("requests.errors", 0.0)
+    err_pct = (100.0 * err_rate / rps) if rps else 0.0
+    latency = fast.get("histograms", {}).get("request.latency_seconds", {})
+    depth = snapshot.get("gauges", {}).get("queue.depth", 0)
+    shed_rate = rates.get("queue.shed", 0.0)
+    window_note = f" (over {fast_label})" if fast_label else ""
+    lines.append(f"spitz top{window_note}")
+    lines.append(
+        f"  rps {rps:8.1f}   errors {err_pct:5.1f}%   "
+        f"queue depth {depth:g}   shed/s {shed_rate:.1f}"
+    )
+    if latency.get("count"):
+        lines.append(
+            f"  latency p50 {latency['p50'] * 1000:7.2f}ms   "
+            f"p99 {latency['p99'] * 1000:7.2f}ms   "
+            f"({latency['count']} requests)"
+        )
+    else:
+        lines.append("  latency (no requests in window)")
+    kinds = sorted(
+        (name[len("requests.kind."):], rate)
+        for name, rate in rates.items()
+        if name.startswith("requests.kind.")
+        and not name.endswith((".ok", ".errors"))
+    )
+    if kinds:
+        lines.append("  by kind: " + "  ".join(
+            f"{kind} {rate:.1f}/s" for kind, rate in kinds
+        ))
+    shards = snapshot.get("shards")
+    if shards:
+        lines.append("  shards (write rate):")
+        prev_shards = (prev or {}).get("shards", {})
+        for shard_id in sorted(shards):
+            commits = shards[shard_id].get("counters", {}).get(
+                "db.commits", 0
+            )
+            note = f"{commits} commits"
+            if elapsed and shard_id in prev_shards:
+                before = prev_shards[shard_id].get("counters", {}).get(
+                    "db.commits", 0
+                )
+                note += f"  {(commits - before) / elapsed:8.1f} writes/s"
+            lines.append(f"    shard {shard_id}: {note}")
+    slo = snapshot.get("slo", {})
+    objectives = slo.get("objectives", [])
+    if objectives:
+        overall = "OK" if slo.get("ok", True) else "BURNING"
+        lines.append(f"  slo [{overall}]:")
+        for status in objectives:
+            lines.append(
+                f"    {status['name']:<24} {status['state']:<9} "
+                f"burn {status['fast_burn']:.2f}x/1m "
+                f"{status['slow_burn']:.2f}x/10m"
+            )
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Polling terminal dashboard over a running ``spitz serve``.
+
+    Renders RPS, p50/p99 latency, error %, queue depth, per-shard
+    write rates and SLO burn states from ``/v1/stats`` every
+    ``--interval`` seconds.  ``--iterations 1`` prints one frame and
+    exits (scriptable); 0 polls until interrupted.
+    """
+    prev: Optional[dict] = None
+    prev_at: Optional[float] = None
+    frames = 0
+    while True:
+        try:
+            snapshot = _fetch_stats(args.host, args.port)
+        except OSError as error:
+            print(
+                f"error: cannot reach http://{args.host}:{args.port}"
+                f"/v1/stats: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        now = time.monotonic()
+        elapsed = (now - prev_at) if prev_at is not None else None
+        frame = _render_top(snapshot, prev, elapsed)
+        if sys.stdout.isatty() and args.iterations != 1:
+            # Clear + home, only on a live terminal: redirected output
+            # stays a plain append-only log.
+            print("\x1b[2J\x1b[H", end="")
+        print(frame)
+        frames += 1
+        if args.iterations and frames >= args.iterations:
+            return 0
+        prev, prev_at = snapshot, now
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run the traced workload under the sampling profiler.
+
+    Prints flamegraph-compatible folded stacks on stdout (feed to
+    ``flamegraph.pl`` or speedscope); the sample-count summary goes to
+    stderr so redirection stays clean.
+    """
+    from repro.obs.profiler import SamplingProfiler
+
+    profiler = SamplingProfiler(interval=args.interval)
+    profiler.start()
+    try:
+        _drive_traced_cluster(args)
+    finally:
+        profiler.stop()
+    folded = profiler.folded(limit=args.limit if args.limit > 0 else None)
+    if folded:
+        print(folded)
+    print(
+        f"# {profiler.samples} samples at {args.interval * 1000:g}ms "
+        f"interval across {args.ops} ops",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -547,6 +709,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the snapshot as JSON (the same frame the "
                         "HTTP /v1/stats endpoint serves)")
+    p.add_argument("--prom", action="store_true",
+                   help="emit the Prometheus text rendering (what a "
+                        "running server serves at /metrics)")
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
@@ -642,6 +807,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline, seconds")
     p.add_argument("--token", default=None, help="auth token to present")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "top",
+        help="polling terminal dashboard over a running spitz serve",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="frames to render before exiting (0 = forever)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "profile",
+        help="run the traced workload under the sampling profiler; "
+             "print folded stacks",
+    )
+    p.add_argument("--ops", type=int, default=200,
+                   help="put/get/verified-get rounds to drive")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--interval", type=float, default=0.005,
+                   help="sampling interval, seconds")
+    p.add_argument("--limit", type=int, default=0,
+                   help="hottest folded stacks to print (0 = all)")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "checkpoint",

@@ -48,6 +48,15 @@ class ClientStats:
     backoff_seconds: float = 0.0
     #: Calls that exhausted every attempt.
     exhausted: int = 0
+    #: Per-request-kind outcome split, keyed ``"get"``/``"put"``/... ->
+    #: ``{"ok": n, "error": n}``.  The client-side mirror of the
+    #: server's ``requests.kind.<kind>.ok``/``.errors`` counters, so a
+    #: loadgen worker's view can be reconciled against the cluster's.
+    by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record_outcome(self, kind: str, ok: bool) -> None:
+        split = self.by_kind.setdefault(kind, {"ok": 0, "error": 0})
+        split["ok" if ok else "error"] += 1
 
 
 class ClusterClient:
@@ -111,6 +120,9 @@ class ClusterClient:
                 suggested = error.retry_after
             else:
                 if response.ok or not response.retryable:
+                    self.stats.record_outcome(
+                        request.kind.value, response.ok
+                    )
                     return response
                 self.stats.shed_responses += 1
                 last_error, last_response = None, response
@@ -121,6 +133,7 @@ class ClusterClient:
             self.stats.backoff_seconds += delay
             self._sleep(delay)
         self.stats.exhausted += 1
+        self.stats.record_outcome(request.kind.value, False)
         if last_response is not None:
             return last_response
         assert last_error is not None

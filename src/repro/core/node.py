@@ -43,6 +43,7 @@ from repro.core.database import SpitzDatabase
 from repro.core.request_handler import Request, RequestHandler, Response
 from repro.errors import ClusterOverloadedError, ClusterStoppedError
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.timeseries import TelemetryPlane
 from repro.obs.tracing import (
     STATUS_ERROR,
     STATUS_OK,
@@ -374,6 +375,12 @@ class ProcessorNode:
             # processing-and-dropping the answer) keeps the
             # request-loss invariant *and* skips the wasted work.
             self._mq.record_shed()
+            # Per-kind shed attribution: the aggregate queue.shed says
+            # load was dropped, this says *whose* (telemetry windows
+            # and spitz top break sheds out by request kind).
+            self._metrics.counter(
+                f"queue.shed.kind.{envelope.request.kind.value}"
+            ).inc()
             with tracer.span(
                 "node.serve",
                 parent=envelope.span,
@@ -460,6 +467,8 @@ class SpitzCluster:
         queue_capacity: Optional[int] = None,
         overload_window: float = 0.05,
         shards: int = 1,
+        telemetry: bool = True,
+        telemetry_clock=None,
     ):
         if nodes < 1:
             raise ValueError("need at least one processor node")
@@ -502,6 +511,17 @@ class SpitzCluster:
             ProcessorNode(f"p{i}", self.db, self.queue)
             for i in range(nodes)
         ]
+        # The time-series telemetry plane (DESIGN.md §6h): a background
+        # ticker samples the shared registry once per slot, giving the
+        # service plane windowed rates, percentiles, and SLO burn
+        # health.  Disabled entirely when the registry is disabled (the
+        # plane would only ever sample a null registry); a test-injected
+        # clock puts it in manual mode (no thread, tests call tick()).
+        self.telemetry: Optional[TelemetryPlane] = None
+        if telemetry and self.metrics.enabled:
+            self.telemetry = TelemetryPlane(
+                self.metrics, clock=telemetry_clock
+            )
 
     def checkpoint(self):
         """Durable mode only: snapshot state and truncate the WAL."""
@@ -514,6 +534,8 @@ class SpitzCluster:
     def start(self) -> None:
         for node in self.nodes:
             node.start()
+        if self.telemetry is not None:
+            self.telemetry.start()
 
     def stop(self) -> None:
         """Stop the nodes; drain-or-fail everything still queued.
@@ -527,6 +549,8 @@ class SpitzCluster:
         then synced and closed.  Idempotent, and identical to
         :meth:`close`.
         """
+        if self.telemetry is not None:
+            self.telemetry.stop()
         self.queue.close()
         self.queue.poison(len(self.nodes))
         for node in self.nodes:

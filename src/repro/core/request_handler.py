@@ -75,6 +75,22 @@ class RequestHandler:
             "requests.unexpected_errors"
         )
         self._h_latency = self._metrics.histogram("request.latency_seconds")
+        # Per-kind instruments, pre-bound once per kind: requests.kind.X
+        # (total), .ok / .errors (outcomes) and a per-kind latency
+        # histogram.  These are the series the SLO evaluator windows
+        # over (DESIGN.md §6h), so they must exist per kind rather than
+        # only in aggregate.
+        self._kind_instruments = {
+            kind: (
+                self._metrics.counter(f"requests.kind.{kind.value}"),
+                self._metrics.counter(f"requests.kind.{kind.value}.ok"),
+                self._metrics.counter(f"requests.kind.{kind.value}.errors"),
+                self._metrics.histogram(
+                    f"request.kind.{kind.value}.latency_seconds"
+                ),
+            )
+            for kind in RequestKind
+        }
         self.handled = 0
 
     def handle(self, request: Request) -> Response:
@@ -89,17 +105,22 @@ class RequestHandler:
         """
         self.handled += 1
         self._c_total.inc()
-        self._metrics.counter(f"requests.kind.{request.kind.value}").inc()
+        c_kind, c_ok, c_kind_errors, h_kind = (
+            self._kind_instruments[request.kind]
+        )
+        c_kind.inc()
         start = time.perf_counter()
         try:
             with self._metrics.tracer.stage("request.handle"):
                 result, proof, digest = self._dispatch_with_digest(request)
         except SpitzError as error:
             self._c_errors.inc()
+            c_kind_errors.inc()
             return Response(ok=False, error=str(error))
         except Exception as error:
             self._c_errors.inc()
             self._c_unexpected.inc()
+            c_kind_errors.inc()
             return Response(
                 ok=False,
                 error=(
@@ -108,7 +129,10 @@ class RequestHandler:
                 ),
             )
         finally:
-            self._h_latency.observe(time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self._h_latency.observe(elapsed)
+            h_kind.observe(elapsed)
+        c_ok.inc()
         return Response(ok=True, result=result, proof=proof, digest=digest)
 
     def _dispatch_with_digest(self, request: Request):

@@ -1,0 +1,262 @@
+"""Prometheus text-format exposition of the metrics registry.
+
+Renders the whole registry — counters, gauges, histogram buckets with
+cumulative ``le`` labels, windowed rates from the telemetry plane, and
+per-shard series under a ``shard="NN"`` label — in the Prometheus
+text format (version 0.0.4).  Served as ``GET /metrics`` on the
+service plane and printed by ``spitz stats --prom``.
+
+Also ships :func:`parse_prometheus`, a deliberately small strict
+parser used by CI to validate live scrapes: it rejects duplicate
+series, malformed names, and unparsable values, and lets the workflow
+assert counter monotonicity across two scrapes
+(``python -m repro.obs.exposition scrape1.txt scrape2.txt``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import BUCKET_BOUNDS
+
+#: Content type Prometheus scrapers expect for the text format.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SERIES_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+)
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """Registry name -> Prometheus name: dots become underscores."""
+    flat = name.replace(".", "_").replace("-", "_")
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class _Renderer:
+    """Accumulates lines, emitting each ``# TYPE`` header only once
+    per metric name (shard-labelled series of the same name share
+    one header)."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self._typed: Dict[str, str] = {}
+
+    def declare(self, name: str, kind: str) -> None:
+        seen = self._typed.get(name)
+        if seen is None:
+            self._typed[name] = kind
+            self.lines.append(f"# TYPE {name} {kind}")
+        elif seen != kind:
+            raise ValueError(
+                f"metric {name} declared as both {seen} and {kind}"
+            )
+
+    def sample(
+        self, name: str,
+        labels: List[Tuple[str, str]],
+        value: float,
+    ) -> None:
+        self.lines.append(f"{name}{_labels(labels)} {_fmt(value)}")
+
+
+def _render_registry(
+    out: _Renderer,
+    snapshot: Dict[str, Dict[str, object]],
+    prefix: str,
+    extra_labels: List[Tuple[str, str]],
+) -> None:
+    """Render one registry exposition snapshot (see
+    ``MetricsRegistry.exposition_snapshot``)."""
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(name, prefix)
+        # Prometheus counter convention, without doubling it for
+        # registry names that already end in "total" (requests.total).
+        if not metric.endswith("_total"):
+            metric += "_total"
+        out.declare(metric, "counter")
+        out.sample(metric, extra_labels, float(value))
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name, prefix)
+        out.declare(metric, "gauge")
+        out.sample(metric, extra_labels, float(value))
+    for name, state in sorted(snapshot.get("histograms", {}).items()):
+        metric = _metric_name(name, prefix)
+        out.declare(metric, "histogram")
+        buckets = state.get("buckets", {})
+        count = int(state.get("count", 0))
+        total = float(state.get("sum", 0.0) or 0.0)
+        cumulative = 0
+        for index in sorted(buckets):
+            cumulative += buckets[index]
+            bound = (
+                BUCKET_BOUNDS[index]
+                if index < len(BUCKET_BOUNDS)
+                else BUCKET_BOUNDS[-1]
+            )
+            out.sample(
+                f"{metric}_bucket",
+                extra_labels + [("le", _fmt(float(bound)))],
+                float(cumulative),
+            )
+        out.sample(
+            f"{metric}_bucket",
+            extra_labels + [("le", "+Inf")],
+            float(count),
+        )
+        out.sample(f"{metric}_sum", extra_labels, total)
+        out.sample(f"{metric}_count", extra_labels, float(count))
+
+
+def _render_windows(
+    out: _Renderer,
+    windows: Dict[str, object],
+    prefix: str,
+) -> None:
+    """Windowed rates and percentiles from
+    ``TelemetryPlane.windows_snapshot()`` as labelled gauges."""
+    for label, view in sorted(windows.get("windows", {}).items()):
+        window_labels = [("window", label)]
+        for name, rate in sorted(view.get("rates", {}).items()):
+            metric = _metric_name(name, prefix) + "_rate"
+            out.declare(metric, "gauge")
+            out.sample(metric, window_labels, float(rate))
+        for name, summary in sorted(view.get("histograms", {}).items()):
+            if not summary.get("count"):
+                continue
+            base = _metric_name(name, prefix)
+            for q in ("p50", "p95", "p99"):
+                if q in summary:
+                    metric = f"{base}_{q}"
+                    out.declare(metric, "gauge")
+                    out.sample(metric, window_labels, float(summary[q]))
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict[str, object]],
+    windows: Optional[Dict[str, object]] = None,
+    shards: Optional[Dict[str, Dict[str, Dict[str, object]]]] = None,
+    prefix: str = "spitz",
+) -> str:
+    """Render the full telemetry surface as Prometheus text.
+
+    ``snapshot`` is the facade registry's ``exposition_snapshot()``;
+    ``windows`` the telemetry plane's windowed view; ``shards`` maps
+    shard id (``"00"``...) to that shard registry's exposition
+    snapshot, rendered with a ``shard`` label.
+    """
+    out = _Renderer()
+    _render_registry(out, snapshot, prefix, [])
+    if windows:
+        _render_windows(out, windows, prefix)
+    for shard_id, shard_snapshot in sorted((shards or {}).items()):
+        _render_registry(
+            out, shard_snapshot, f"{prefix}_shard",
+            [("shard", shard_id)],
+        )
+    return "\n".join(out.lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Strictly parse text-format exposition into series -> value.
+
+    A series key is ``name{labels}`` verbatim.  Raises ``ValueError``
+    on duplicate series, malformed metric names, or unparsable sample
+    values — the properties CI asserts on live ``/metrics`` scrapes.
+    """
+    series: Dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SERIES_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        name, labels, value_text = match.groups()
+        if not _NAME_RE.match(name):
+            raise ValueError(f"line {lineno}: bad metric name {name!r}")
+        key = name + (labels or "")
+        if key in series:
+            raise ValueError(f"line {lineno}: duplicate series {key}")
+        try:
+            series[key] = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad value {value_text!r} for {key}"
+            ) from None
+    return series
+
+
+def check_monotone(
+    before: Dict[str, float], after: Dict[str, float]
+) -> List[str]:
+    """Counter series (``*_total``) that moved backwards between two
+    scrapes — empty list means monotone."""
+    regressions = []
+    for key, value in after.items():
+        base = key.split("{", 1)[0]
+        if not base.endswith("_total"):
+            continue
+        if key in before and value < before[key]:
+            regressions.append(
+                f"{key}: {before[key]} -> {value}"
+            )
+    return regressions
+
+
+def _main(argv: List[str]) -> int:
+    """CI validator: ``python -m repro.obs.exposition A.txt [B.txt]``.
+
+    Validates each scrape; with two, additionally asserts counters
+    are monotone from A to B.
+    """
+    if not argv:
+        print("usage: python -m repro.obs.exposition SCRAPE [SCRAPE2]")
+        return 2
+    parsed = []
+    for path in argv:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        series = parse_prometheus(text)
+        if not series:
+            print(f"{path}: no series")
+            return 1
+        print(f"{path}: {len(series)} series ok")
+        parsed.append(series)
+    if len(parsed) == 2:
+        regressions = check_monotone(parsed[0], parsed[1])
+        if regressions:
+            for line in regressions:
+                print(f"counter regression: {line}")
+            return 1
+        print("counters monotone across scrapes")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    raise SystemExit(_main(sys.argv[1:]))
+
+
+__all__ = [
+    "PROM_CONTENT_TYPE",
+    "check_monotone",
+    "parse_prometheus",
+    "render_prometheus",
+]

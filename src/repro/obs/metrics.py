@@ -36,6 +36,11 @@ from typing import Dict, List, Optional
 #: ~19% relative resolution per bucket.
 _BUCKET_BOUNDS: List[float] = [2.0 ** (k / 4.0) for k in range(-120, 161)]
 
+#: Public alias: the time-series and exposition layers translate
+#: bucket *indexes* (what :meth:`Histogram.bucket_snapshot` carries)
+#: back into upper bounds with this table.
+BUCKET_BOUNDS: List[float] = _BUCKET_BOUNDS
+
 
 class Counter:
     """A monotonically increasing integer."""
@@ -53,7 +58,13 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        # Read under the shared lock: an unlocked read can observe a
+        # torn update on implementations without atomic ints and, more
+        # practically, lets a reader interleave between the ``+=``'s
+        # load and store — the same class of race PR 4 fixed for
+        # ``Histogram.percentile``/``summary``.
+        with self._lock:
+            return self._value
 
     def __getstate__(self):
         return (self.name, self._value)
@@ -81,7 +92,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
     def __getstate__(self):
         return (self.name, self._value)
@@ -158,6 +170,23 @@ class Histogram:
             return None
         return self._rank_estimate(buckets, count, lo, hi, q)
 
+    def bucket_snapshot(self) -> Dict[str, object]:
+        """Raw bucket state, consistently copied under the lock.
+
+        The time-series layer diffs successive copies to get per-window
+        bucket deltas, and the Prometheus exposition renders them as
+        cumulative ``le`` buckets; ``summary()`` alone is too lossy for
+        either (no per-bucket counts).
+        """
+        buckets, count, lo, hi, total = self._state()
+        return {
+            "buckets": buckets,
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+        }
+
     def summary(self) -> Dict[str, float]:
         buckets, count, lo, hi, total = self._state()
         if count == 0:
@@ -211,6 +240,11 @@ class _NullInstrument:
 
     def summary(self) -> Dict[str, float]:
         return {"count": 0}
+
+    def bucket_snapshot(self) -> Dict[str, object]:
+        return {
+            "buckets": {}, "count": 0, "sum": 0.0, "min": None, "max": None,
+        }
 
 
 _NULL_INSTRUMENT = _NullInstrument()
@@ -294,6 +328,37 @@ class MetricsRegistry:
             "histograms": {
                 name: h.summary() for name, h in histogram_refs
             },
+        }
+
+    def counter_values(self) -> Dict[str, int]:
+        """Point-in-time copy of every counter (time-series sampling)."""
+        with self._lock:
+            return {name: c._value for name, c in self._counters.items()}
+
+    def gauge_values(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: g._value for name, g in self._gauges.items()}
+
+    def histogram_states(self) -> Dict[str, Dict[str, object]]:
+        """Raw bucket state of every histogram.
+
+        References are copied under the registry lock, then each
+        histogram copies its buckets under the same (shared) lock — the
+        result is a consistent sample the time-series ticker can diff
+        against its previous one.
+        """
+        with self._lock:
+            refs = list(self._histograms.items())
+        return {name: h.bucket_snapshot() for name, h in refs}
+
+    def exposition_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Everything the Prometheus exposition needs in one pass:
+        counters, gauges, and *bucket-level* histogram state (the
+        regular :meth:`snapshot` carries only percentile summaries)."""
+        return {
+            "counters": self.counter_values(),
+            "gauges": self.gauge_values(),
+            "histograms": self.histogram_states(),
         }
 
     # -- pickling (snapshots/checkpoints pickle whole databases) --------

@@ -1,0 +1,293 @@
+"""Per-request-kind SLOs with multi-window burn-rate evaluation.
+
+An SLO here is a statement like "GETs serve 99% of requests without
+error" or "PUT p99 stays under 1s".  The evaluator measures each
+objective over the *windowed* signals from
+:class:`repro.obs.timeseries.TimeSeries` — never the cumulative
+counters, which would take hours to recover from one bad minute — and
+reports a **burn rate**: how fast the error budget is being spent
+relative to plan.  Burn 1.0 means "exactly on budget"; burn 14.4 over
+a 1m window means the monthly budget would be gone in two days.
+
+The alerting rule is the standard multi-window, multi-burn-rate shape
+(SRE workbook ch. 5), shrunk to two windows:
+
+- ``critical`` (flips ``/readyz`` to 503) requires the burn to exceed
+  ``hard_burn`` in **both** the fast (1m) and slow (10m) windows *and*
+  the fast window to hold at least ``min_requests`` requests.  The
+  fast window makes recovery quick — once the burst stops, 1m of
+  clean traffic drops the fast burn and readiness returns even while
+  the slow window is still hot.  The slow window keeps a 2-second
+  blip from ever paging.  The volume gate keeps one failed request
+  out of ten from tripping anything during quiet periods.
+- ``warn`` is advisory only: hard burn in exactly one window.
+
+Evaluated states and burns are exported as gauges on the cluster
+registry (``slo.<name>.burn_fast`` etc.), so ``/metrics`` exposes the
+whole SLO plane with no extra wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timeseries import TimeSeries
+
+#: Burn rate above which an objective is considered hard-burning.
+#: 14.4x burn over a 30-day budget exhausts it in ~2 days — the
+#: classic page-now threshold.
+HARD_BURN = 14.4
+
+#: Minimum requests in the fast window before an availability SLO may
+#: go critical.  Below this, ratios are too noisy to act on.
+MIN_REQUESTS = 25
+
+STATE_OK = "ok"
+STATE_WARN = "warn"
+STATE_CRITICAL = "critical"
+
+_STATE_CODES = {STATE_OK: 0, STATE_WARN: 1, STATE_CRITICAL: 2}
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One service-level objective over a request kind.
+
+    ``objective="availability"``: ``threshold`` is the error *budget*
+    as a ratio (0.01 = 99% availability); burn = observed error ratio
+    / budget.
+
+    ``objective="latency"``: ``threshold`` is the target for the
+    ``quantile`` latency in seconds; burn = observed quantile /
+    target.  Latency burns use ``hard_burn=1.0`` by default — the
+    threshold itself is the line.
+    """
+
+    name: str
+    kind: str
+    objective: str = "availability"
+    threshold: float = 0.01
+    quantile: float = 0.99
+    hard_burn: float = HARD_BURN
+
+    def __post_init__(self):
+        if self.objective not in ("availability", "latency"):
+            raise ValueError(f"unknown objective {self.objective!r}")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+
+def default_objectives() -> List[SloObjective]:
+    """The stock SLO set for a served cluster.
+
+    Budgets are deliberately loose (99% availability, generous p99
+    targets): these gate *readiness*, and a flapping readyz is worse
+    than a slow one.  Operators tighten per deployment.
+    """
+    objectives = [
+        SloObjective(
+            name=f"{kind}-availability", kind=kind,
+            objective="availability", threshold=0.01,
+        )
+        for kind in ("get", "put", "multi_get")
+    ]
+    objectives.append(
+        SloObjective(
+            name="get-latency-p99", kind="get",
+            objective="latency", threshold=0.5, quantile=0.99,
+            hard_burn=1.0,
+        )
+    )
+    objectives.append(
+        SloObjective(
+            name="put-latency-p99", kind="put",
+            objective="latency", threshold=1.0, quantile=0.99,
+            hard_burn=1.0,
+        )
+    )
+    return objectives
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One objective's evaluated state at a point in time."""
+
+    objective: SloObjective
+    state: str
+    fast_burn: float
+    slow_burn: float
+    fast_requests: int
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.objective.name,
+            "kind": self.objective.kind,
+            "objective": self.objective.objective,
+            "threshold": self.objective.threshold,
+            "state": self.state,
+            "fast_burn": round(self.fast_burn, 4),
+            "slow_burn": round(self.slow_burn, 4),
+            "fast_requests": self.fast_requests,
+            "detail": self.detail,
+        }
+
+
+class SloEvaluator:
+    """Evaluates a set of objectives against a time series.
+
+    ``evaluate()`` is called once per telemetry tick; queries between
+    ticks read the cached statuses, so readiness checks never touch
+    the slot ring.
+    """
+
+    def __init__(
+        self,
+        timeseries: "TimeSeries",
+        objectives: List[SloObjective],
+        fast_window: float = 60.0,
+        slow_window: float = 600.0,
+        min_requests: int = MIN_REQUESTS,
+        registry: Optional["MetricsRegistry"] = None,
+    ):
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate objective names")
+        self.timeseries = timeseries
+        self.objectives = list(objectives)
+        self.fast_window = fast_window
+        self.slow_window = slow_window
+        self.min_requests = min_requests
+        self._statuses: List[SloStatus] = []
+        self._gauges = {}
+        if registry is not None:
+            for obj in self.objectives:
+                self._gauges[obj.name] = (
+                    registry.gauge(f"slo.{obj.name}.burn_fast"),
+                    registry.gauge(f"slo.{obj.name}.burn_slow"),
+                    registry.gauge(f"slo.{obj.name}.state"),
+                )
+
+    # -- measurement ----------------------------------------------------
+
+    def _availability_burn(
+        self, obj: SloObjective, window: float
+    ) -> Tuple[float, int]:
+        """(burn rate, request volume) for an availability objective."""
+        total = self.timeseries.count(f"requests.kind.{obj.kind}", window)
+        if total <= 0:
+            return 0.0, 0
+        errors = self.timeseries.count(
+            f"requests.kind.{obj.kind}.errors", window
+        )
+        return (errors / total) / obj.threshold, total
+
+    def _latency_burn(
+        self, obj: SloObjective, window: float
+    ) -> Tuple[float, int]:
+        """(burn rate, sample volume) for a latency objective."""
+        buckets, count, _total = self.timeseries.window_histogram(
+            f"request.kind.{obj.kind}.latency_seconds", window
+        )
+        if count <= 0:
+            return 0.0, 0
+        value = self.timeseries.percentile(
+            f"request.kind.{obj.kind}.latency_seconds",
+            obj.quantile, window,
+        )
+        if value is None:
+            return 0.0, count
+        del buckets
+        return value / obj.threshold, count
+
+    def evaluate(self) -> List[SloStatus]:
+        """Re-measure every objective; cache and return the statuses."""
+        statuses = []
+        for obj in self.objectives:
+            if obj.objective == "availability":
+                fast_burn, fast_n = self._availability_burn(
+                    obj, self.fast_window
+                )
+                slow_burn, _slow_n = self._availability_burn(
+                    obj, self.slow_window
+                )
+            else:
+                fast_burn, fast_n = self._latency_burn(obj, self.fast_window)
+                slow_burn, _slow_n = self._latency_burn(obj, self.slow_window)
+            fast_hot = fast_burn >= obj.hard_burn
+            slow_hot = slow_burn >= obj.hard_burn
+            enough = fast_n >= self.min_requests
+            if fast_hot and slow_hot and enough:
+                state = STATE_CRITICAL
+                detail = (
+                    f"burn {fast_burn:.1f}x (1m) / {slow_burn:.1f}x (10m) "
+                    f"over {fast_n} requests"
+                )
+            elif (fast_hot or slow_hot) and enough:
+                state = STATE_WARN
+                detail = (
+                    f"burn {fast_burn:.1f}x (1m) / {slow_burn:.1f}x (10m)"
+                )
+            else:
+                state = STATE_OK
+                detail = ""
+            status = SloStatus(
+                objective=obj, state=state,
+                fast_burn=fast_burn, slow_burn=slow_burn,
+                fast_requests=fast_n, detail=detail,
+            )
+            statuses.append(status)
+            gauges = self._gauges.get(obj.name)
+            if gauges is not None:
+                g_fast, g_slow, g_state = gauges
+                g_fast.set(round(fast_burn, 4))
+                g_slow.set(round(slow_burn, 4))
+                g_state.set(_STATE_CODES[state])
+        self._statuses = statuses
+        return statuses
+
+    # -- cached queries --------------------------------------------------
+
+    @property
+    def statuses(self) -> List[SloStatus]:
+        return list(self._statuses)
+
+    def health(self) -> Tuple[bool, List[str]]:
+        """(serve traffic?, reasons) from the last evaluation.
+
+        Only ``critical`` objectives fail readiness; ``warn`` is
+        surfaced in stats but keeps serving.
+        """
+        reasons = [
+            f"{s.objective.name}: {s.detail}"
+            for s in self._statuses
+            if s.state == STATE_CRITICAL
+        ]
+        return not reasons, reasons
+
+    def snapshot(self) -> Dict[str, object]:
+        ok, reasons = self.health()
+        return {
+            "ok": ok,
+            "reasons": reasons,
+            "fast_window": self.fast_window,
+            "slow_window": self.slow_window,
+            "min_requests": self.min_requests,
+            "objectives": [s.to_dict() for s in self._statuses],
+        }
+
+
+__all__ = [
+    "HARD_BURN",
+    "MIN_REQUESTS",
+    "STATE_CRITICAL",
+    "STATE_OK",
+    "STATE_WARN",
+    "SloEvaluator",
+    "SloObjective",
+    "SloStatus",
+    "default_objectives",
+]

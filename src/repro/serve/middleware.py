@@ -153,6 +153,38 @@ class RateLimitMiddleware:
         )
 
 
+def prefers_plain_text(accept: Optional[str]) -> bool:
+    """Content negotiation for ``/v1/stats``: does this ``Accept``
+    header ask for the Prometheus text format over JSON?
+
+    Minimal q-value handling over comma-separated media ranges:
+    ``text/plain`` (and ``text/*``) competes with ``application/json``
+    (and ``application/*``/``*/*``, which keep the JSON default).
+    Plain text wins only on a strictly higher q — ties keep JSON, so
+    browsers (``*/*``) and existing clients are unaffected.
+    """
+    if not accept:
+        return False
+    q_text = 0.0
+    q_json = 0.0
+    for part in accept.split(","):
+        fields = part.strip().split(";")
+        media = fields[0].strip().lower()
+        q = 1.0
+        for param in fields[1:]:
+            name, _, value = param.strip().partition("=")
+            if name.strip() == "q":
+                try:
+                    q = float(value)
+                except ValueError:
+                    q = 0.0
+        if media in ("text/plain", "text/*"):
+            q_text = max(q_text, q)
+        elif media in ("application/json", "application/*", "*/*"):
+            q_json = max(q_json, q)
+    return q_text > q_json
+
+
 class MiddlewareStack:
     """Run middlewares in order; first rejection wins."""
 
@@ -177,4 +209,5 @@ __all__ = [
     "REQUEST_ID_HEADER",
     "RequestContext",
     "RequestIdMiddleware",
+    "prefers_plain_text",
 ]

@@ -26,8 +26,14 @@ until now only in-process threads could reach.  Design points:
 Endpoints::
 
     GET  /healthz        process liveness (never touches the cluster)
-    GET  /readyz         readiness: 200 serving, 503 stopping
-    GET  /v1/stats       metrics snapshot (``?traces=1`` adds flight data)
+    GET  /readyz         readiness: 200 serving; 503 stopping or on a
+                         hard SLO burn (body names the burning SLO)
+    GET  /metrics        Prometheus text exposition (registry +
+                         windowed rates + per-shard series)
+    GET  /v1/stats       metrics snapshot (``?traces=1`` adds flight
+                         data, ``?profile_seconds=N`` inlines a folded
+                         profile; ``Accept: text/plain`` serves the
+                         Prometheus rendering instead)
     GET  /v1/digest      current ledger digest (what clients pin)
     POST /v1/request     one codec-framed Request -> framed Response
 
@@ -48,6 +54,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.core.node import SpitzCluster
 from repro.errors import ClusterOverloadedError, ClusterStoppedError
+from repro.obs.exposition import PROM_CONTENT_TYPE, render_prometheus
+from repro.obs.profiler import MAX_PROFILE_SECONDS, profile_duration
 from repro.obs.tracing import STATUS_ERROR, STATUS_OK, STATUS_SHED
 from repro.serve.codec import (
     WireCodecError,
@@ -62,6 +70,7 @@ from repro.serve.middleware import (
     RateLimitMiddleware,
     RequestContext,
     RequestIdMiddleware,
+    prefers_plain_text,
 )
 from repro.serve.ratelimit import RateLimiter
 
@@ -139,6 +148,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
         self.server.observe_response(status)
 
+    def _reply_text(
+        self, status: int, text: str, content_type: str
+    ) -> None:
+        """Non-JSON reply (the Prometheus exposition path)."""
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+        self.server.observe_response(status)
+
     def _read_body(self) -> Optional[bytes]:
         length = self.headers.get("Content-Length")
         if length is None:
@@ -180,12 +201,34 @@ class _Handler(BaseHTTPRequestHandler):
             ready, detail = self.server.readiness()
             self._reply(200 if ready else 503, detail)
             return
+        if path == "/metrics":
+            # Like /healthz: scrapers poll this every few seconds and
+            # never spend cluster capacity, so it bypasses auth and
+            # rate limiting rather than eating the caller's budget.
+            self._reply_text(200, self.server.metrics_text(), PROM_CONTENT_TYPE)
+            return
         if path == "/v1/stats":
+            if prefers_plain_text(self.headers.get("Accept")):
+                # Content negotiation: the same telemetry surface in
+                # Prometheus text instead of JSON.
+                self._reply_text(
+                    200, self.server.metrics_text(), PROM_CONTENT_TYPE
+                )
+                return
             query = parse_qs(split.query)
             traces = query.get("traces", ["0"])[0] in ("1", "true", "yes")
+            profile_raw = query.get("profile_seconds", [""])[0]
+            try:
+                profile_seconds: Optional[float] = (
+                    float(profile_raw) if profile_raw else None
+                )
+            except ValueError:
+                profile_seconds = None
             self.server.handle_edge(
                 self, self._context(path), kind="stats",
-                action=lambda: (200, self.server.stats_body(traces)),
+                action=lambda: (
+                    200, self.server.stats_body(traces, profile_seconds)
+                ),
             )
             return
         if path == "/v1/digest":
@@ -248,6 +291,7 @@ class SpitzHTTPServer:
         self._httpd.observe_response = self.observe_response  # type: ignore[attr-defined]
         self._httpd.readiness = self.readiness  # type: ignore[attr-defined]
         self._httpd.stats_body = self.stats_body  # type: ignore[attr-defined]
+        self._httpd.metrics_text = self.metrics_text  # type: ignore[attr-defined]
         self._httpd.digest_body = self.digest_body  # type: ignore[attr-defined]
         self._httpd.handle_edge = self.handle_edge  # type: ignore[attr-defined]
         self._httpd.handle_request_route = self.handle_request_route  # type: ignore[attr-defined]
@@ -304,16 +348,68 @@ class SpitzHTTPServer:
         if queue.closed:
             detail["status"] = "stopping"
             return False, detail
+        telemetry = getattr(self.cluster, "telemetry", None)
+        if telemetry is not None:
+            # Cached statuses from the last telemetry tick — readiness
+            # probes never walk the slot ring.  Only *critical* burns
+            # (hard burn in BOTH SLO windows, with enough traffic to
+            # mean it) fail readiness; see DESIGN.md §6h.
+            ok, reasons = telemetry.slo.health()
+            if not ok:
+                detail["status"] = "slo_burn"
+                detail["slo"] = reasons
+                return False, detail
         detail["status"] = "ready"
         return True, detail
 
-    def stats_body(self, traces: bool) -> Dict[str, Any]:
-        """The CLI's exact payload: one serialization path for both."""
-        snapshot = self.cluster.db.metrics_snapshot()
+    def stats_body(
+        self, traces: bool, profile_seconds: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """The CLI's exact payload: one serialization path for both.
+
+        The cumulative snapshot, plus the telemetry plane's windowed
+        view (``windows``) and SLO statuses (``slo``) when the cluster
+        runs one.  ``profile_seconds`` (capped at
+        :data:`MAX_PROFILE_SECONDS`) samples the live process for that
+        long and inlines the profiler report — the request blocks for
+        the duration, which is the point: it profiles whatever the
+        server is doing *now*.
+        """
+        snapshot = dict(self.cluster.db.metrics_snapshot())
+        telemetry = getattr(self.cluster, "telemetry", None)
+        if telemetry is not None:
+            snapshot["windows"] = telemetry.windows_snapshot()
+            snapshot["slo"] = telemetry.slo_snapshot()
         if traces:
-            snapshot = dict(snapshot)
             snapshot["traces"] = self.metrics.flight.snapshot()
+        if profile_seconds is not None and profile_seconds > 0:
+            bounded = min(float(profile_seconds), MAX_PROFILE_SECONDS)
+            snapshot["profile"] = profile_duration(bounded).report()
         return to_jsonable(snapshot)
+
+    def metrics_text(self) -> str:
+        """The full Prometheus exposition (``GET /metrics``)."""
+        # metrics_snapshot() refreshes derived gauges (ledger height,
+        # chunk-store occupancy) as a side effect before we render.
+        self.cluster.db.metrics_snapshot()
+        telemetry = getattr(self.cluster, "telemetry", None)
+        windows = (
+            telemetry.windows_snapshot() if telemetry is not None else None
+        )
+        shard_registries = getattr(
+            self.cluster.db, "shard_registries", None
+        )
+        shards = None
+        if shard_registries:
+            shards = {
+                f"{shard_id:02d}": registry.exposition_snapshot()
+                for shard_id, registry in enumerate(shard_registries)
+            }
+        return render_prometheus(
+            self.metrics.exposition_snapshot(),
+            windows=windows,
+            shards=shards,
+        )
 
     def digest_body(self) -> Dict[str, Any]:
         return to_jsonable({"digest": self.cluster.db.digest()})

@@ -365,19 +365,37 @@ class ShardedDatabase:
         under their own names so ``db.commits``, ``ledger.height``
         etc. stay meaningful fleet-wide; shard histograms are omitted
         (latency distributions are captured by the facade's tracer).
+
+        The per-shard view also rides along under a ``shards`` key
+        (``{"00": {"counters": ..., "gauges": ...}, ...}``) so served
+        stats can attribute load per shard instead of only fleet-wide;
+        ``/metrics`` renders the same registries with a ``shard="NN"``
+        label.
         """
         snapshot = self.metrics.snapshot()
         counters = dict(snapshot["counters"])
         gauges = dict(snapshot["gauges"])
+        shards: Dict[str, Dict[str, object]] = {}
         for shard_id, shard in enumerate(self.shards):
             shard_snapshot = shard.metrics_snapshot()
             for name, value in shard_snapshot["counters"].items():
                 counters[name] = counters.get(name, 0) + value
             for name, value in shard_snapshot["gauges"].items():
                 gauges[name] = gauges.get(name, 0) + value
+            shards[f"{shard_id:02d}"] = {
+                "counters": shard_snapshot["counters"],
+                "gauges": shard_snapshot["gauges"],
+            }
         snapshot["counters"] = counters
         snapshot["gauges"] = gauges
+        snapshot["shards"] = shards
         return snapshot
+
+    @property
+    def shard_registries(self) -> List[MetricsRegistry]:
+        """The per-shard registries, indexed by shard id (exposition
+        renders them under ``shard="NN"`` labels)."""
+        return list(self._shard_registries)
 
     def sync(self) -> None:
         """Durable mode: fsync every shard's WAL."""

@@ -16,6 +16,7 @@ from repro.bench.harness import (
     fig6_write,
     fig7_range,
     fig8_nonintrusive,
+    fig_obs,
 )
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.workloads.generator import WorkloadGenerator
@@ -151,3 +152,41 @@ class TestFigure8Shapes:
             "Spitz-verify", "Non-intrusive-verify", n
         ) > 1.5
         assert fig8_write.ratio("Spitz", "Non-intrusive", n) > 1.5
+
+
+class TestFigureObsShapes:
+    def test_telemetry_on_within_budget_of_off(self):
+        """The tentpole acceptance bar: a live telemetry plane ticking
+        aggressively (50ms slots) must keep the read path within 5% of
+        a disabled registry.
+
+        ``fig_obs`` already takes best-of-N interleaved trials, but a
+        noisy box can still lose a run to scheduler jitter — re-measure
+        up to three times before calling it a regression, the same
+        policy as the budget guard above.
+        """
+        for attempt in range(3):
+            figure = fig_obs([300])
+            ratio = figure.ratio("Telemetry on", "Telemetry off", 300)
+            if ratio >= 0.95:
+                break
+        assert ratio >= 0.95
+
+    def test_series_and_overhead_shape(self):
+        figure = fig_obs([250])
+        names = {series.name for series in figure.series}
+        assert names == {
+            "Telemetry off",
+            "Telemetry on",
+            "Telemetry on + profiler",
+            "Overhead on vs off (%)",
+            "Overhead on+profiler vs off (%)",
+        }
+        assert figure.xs() == [250]
+        for name in ("Telemetry off", "Telemetry on"):
+            assert figure.series_named(name).points[250] > 0
+        # Overhead series are consistent with the throughput series.
+        on = figure.series_named("Telemetry on").points[250]
+        off = figure.series_named("Telemetry off").points[250]
+        overhead = figure.series_named("Overhead on vs off (%)").points[250]
+        assert overhead == pytest.approx(100.0 * (1.0 - on / off))

@@ -1,0 +1,274 @@
+"""Integration tests for the time-series telemetry plane end to end.
+
+A real listening socket fronts a cluster whose telemetry plane runs on
+an injected fake clock (manual mode — no ticker thread), so every
+window edge in these tests is deterministic:
+
+- an error burst trips the fast+slow burn-rate rule and flips
+  ``/readyz`` to 503 with the burning SLO named; 61 clean seconds
+  later the fast window drains and readiness recovers;
+- ``GET /metrics`` serves valid Prometheus text (the strict CI parser
+  accepts it) with windowed ``_rate`` series and ``le``-labelled
+  buckets, and counters are monotone across successive scrapes;
+- ``/v1/stats`` carries ``windows``/``slo`` keys, honors ``Accept:
+  text/plain`` with the exposition format, and inlines a profiler
+  report for ``?profile_seconds=``;
+- per-shard registry snapshots in ``/v1/stats`` sum to the facade's
+  write counts (the satellite regression);
+- ``spitz top --iterations 1`` renders one frame from the live server.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.node import SpitzCluster
+from repro.obs.exposition import (
+    PROM_CONTENT_TYPE,
+    check_monotone,
+    parse_prometheus,
+)
+from repro.serve.client import HttpClusterClient
+from repro.serve.server import SpitzHTTPServer, serve_cluster
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def rig():
+    """Cluster + server with a manual-mode telemetry plane."""
+    clock = FakeClock()
+    cluster = SpitzCluster(nodes=2, telemetry_clock=clock)
+    cluster.start()
+    server = SpitzHTTPServer(cluster)
+    server.start()
+    yield clock, cluster, server
+    server.stop()
+    cluster.stop()
+
+
+def _raw(port, method, path, body=None, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, response.headers, response.read()
+    finally:
+        conn.close()
+
+
+def _drive(port, healthy=0, malformed=0):
+    """Healthy puts/gets and malformed gets through the real socket."""
+    with HttpClusterClient("127.0.0.1", port, attempts=1) as client:
+        for i in range(healthy):
+            assert client.put(b"k:%d" % i, b"v").ok
+            assert client.get(b"k:%d" % i).ok
+    for _ in range(malformed):
+        # A get with no "key" raises inside the handler: an error
+        # response, counted against requests.kind.get.errors.
+        status, _headers, raw = _raw(
+            port, "POST", "/v1/request",
+            body=json.dumps(
+                {"kind": "get", "payload": {"wrong_field": 1}}
+            ).encode(),
+        )
+        assert status == 200
+        assert json.loads(raw)["ok"] is False
+
+
+class TestSloReadiness:
+    def test_error_burst_trips_readyz_then_recovers(self, rig):
+        clock, cluster, server = rig
+        plane = cluster.telemetry
+        assert plane is not None and plane.manual
+        plane.tick()  # baseline
+
+        # Healthy minute: readiness stays green.
+        _drive(server.port, healthy=15)
+        clock.advance(1.0)
+        plane.tick()
+        status, _headers, raw = _raw(server.port, "GET", "/readyz")
+        assert status == 200
+        assert json.loads(raw)["status"] == "ready"
+
+        # Error burst: 30 failed gets in one slot — burn is 100x the
+        # 1% budget in both windows, with enough volume to mean it.
+        _drive(server.port, malformed=30)
+        clock.advance(1.0)
+        plane.tick()
+        status, _headers, raw = _raw(server.port, "GET", "/readyz")
+        assert status == 503
+        detail = json.loads(raw)
+        assert detail["status"] == "slo_burn"
+        assert any("get-availability" in reason for reason in detail["slo"])
+
+        # 61 clean seconds: the burst leaves the fast window (still in
+        # the slow one) and readiness recovers — fast-window-paced.
+        clock.advance(61.0)
+        plane.tick()
+        status, _headers, raw = _raw(server.port, "GET", "/readyz")
+        assert status == 200
+        assert json.loads(raw)["status"] == "ready"
+
+    def test_liveness_never_gated_by_slo(self, rig):
+        clock, cluster, server = rig
+        plane = cluster.telemetry
+        plane.tick()
+        _drive(server.port, malformed=30)
+        clock.advance(1.0)
+        plane.tick()
+        assert _raw(server.port, "GET", "/healthz")[0] == 200
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_prom_text_with_rates_and_buckets(self, rig):
+        clock, cluster, server = rig
+        plane = cluster.telemetry
+        plane.tick()
+        _drive(server.port, healthy=10)
+        clock.advance(1.0)
+        plane.tick()
+        status, headers, raw = _raw(server.port, "GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROM_CONTENT_TYPE
+        series = parse_prometheus(raw.decode("utf-8"))
+        assert series["spitz_db_commits_total"] >= 10
+        assert series['spitz_requests_total_rate{window="60s"}'] > 0
+        assert any("_bucket{le=" in key for key in series)
+        assert 'spitz_request_latency_seconds_bucket{le="+Inf"}' in series
+
+    def test_counters_monotone_across_scrapes(self, rig):
+        clock, cluster, server = rig
+        _drive(server.port, healthy=5)
+        before = parse_prometheus(
+            _raw(server.port, "GET", "/metrics")[2].decode("utf-8")
+        )
+        _drive(server.port, healthy=5)
+        after = parse_prometheus(
+            _raw(server.port, "GET", "/metrics")[2].decode("utf-8")
+        )
+        assert check_monotone(before, after) == []
+        assert (
+            after["spitz_db_commits_total"]
+            > before["spitz_db_commits_total"]
+        )
+
+    def test_metrics_needs_no_auth_like_health_probes(self):
+        svc = serve_cluster(nodes=1, auth_tokens=["sesame"])
+        try:
+            assert _raw(svc.port, "GET", "/metrics")[0] == 200
+        finally:
+            svc.stop()
+
+
+class TestStatsRoute:
+    def test_stats_carries_windows_and_slo(self, rig):
+        clock, cluster, server = rig
+        plane = cluster.telemetry
+        plane.tick()
+        _drive(server.port, healthy=5)
+        clock.advance(1.0)
+        plane.tick()
+        body = json.loads(_raw(server.port, "GET", "/v1/stats")[2])
+        assert "60s" in body["windows"]["windows"]
+        assert body["slo"]["ok"] is True
+        names = {o["name"] for o in body["slo"]["objectives"]}
+        assert "get-availability" in names
+
+    def test_accept_text_plain_negotiates_exposition(self, rig):
+        clock, cluster, server = rig
+        _drive(server.port, healthy=3)
+        status, headers, raw = _raw(
+            server.port, "GET", "/v1/stats",
+            headers={"Accept": "text/plain"},
+        )
+        assert status == 200
+        assert headers["Content-Type"] == PROM_CONTENT_TYPE
+        parse_prometheus(raw.decode("utf-8"))
+
+    def test_profile_seconds_inlines_a_report(self, rig):
+        clock, cluster, server = rig
+        body = json.loads(
+            _raw(server.port, "GET", "/v1/stats?profile_seconds=0.05")[2]
+        )
+        profile = body["profile"]
+        assert profile["samples"] >= 1
+        assert profile["elapsed"] > 0
+        assert isinstance(profile["hottest"], list)
+
+    def test_bogus_profile_seconds_ignored(self, rig):
+        clock, cluster, server = rig
+        body = json.loads(
+            _raw(server.port, "GET", "/v1/stats?profile_seconds=banana")[2]
+        )
+        assert "profile" not in body
+
+
+class TestShardSnapshots:
+    def test_shard_counters_sum_to_facade_writes(self):
+        # The satellite regression: per-shard registry snapshots under
+        # the "shards" key must sum to the facade's write counts.
+        svc = serve_cluster(nodes=2, shards=4)
+        try:
+            with HttpClusterClient(
+                "127.0.0.1", svc.port, attempts=1
+            ) as client:
+                for i in range(32):
+                    assert client.put(b"sk:%d" % i, b"v").ok
+            body = json.loads(_raw(svc.port, "GET", "/v1/stats")[2])
+            shards = body["shards"]
+            assert len(shards) == 4
+            total = sum(
+                shard["counters"].get("db.commits", 0)
+                for shard in shards.values()
+            )
+            assert total == body["counters"]["db.commits"] == 32
+            # The exposition carries the same split, labelled.
+            series = parse_prometheus(
+                _raw(svc.port, "GET", "/metrics")[2].decode("utf-8")
+            )
+            labelled = [
+                value for key, value in series.items()
+                if key.startswith('spitz_shard_db_commits_total{shard="')
+            ]
+            assert len(labelled) == 4
+            assert sum(labelled) == 32
+        finally:
+            svc.stop()
+
+
+class TestTopCommand:
+    def test_one_frame_from_a_live_server(self, rig, capsys):
+        clock, cluster, server = rig
+        plane = cluster.telemetry
+        plane.tick()
+        _drive(server.port, healthy=10)
+        clock.advance(1.0)
+        plane.tick()
+        code = cli_main([
+            "top", "--port", str(server.port), "--iterations", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spitz top" in out
+        assert "rps" in out
+        assert "slo" in out
+        assert "get-availability" in out
+
+    def test_unreachable_server_is_an_error(self, capsys):
+        code = cli_main([
+            "top", "--port", "1", "--iterations", "1",
+        ])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""Prometheus text rendering and the strict scrape parser.
+
+The parser here is the same one CI runs against live ``/metrics``
+scrapes, so its strictness (duplicate series, bad names, bad values)
+is itself under test."""
+
+import pytest
+
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry
+from repro.obs.exposition import (
+    PROM_CONTENT_TYPE,
+    check_monotone,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.timeseries import TelemetryPlane
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def loaded_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("db.commits").inc(7)
+    registry.counter("requests.total").inc(100)
+    registry.gauge("queue.depth").set(3)
+    hist = registry.histogram("request.latency_seconds")
+    for value in (0.001, 0.002, 0.004, 0.5):
+        hist.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_counters_get_total_suffix_and_type(self):
+        text = render_prometheus(loaded_registry().exposition_snapshot())
+        assert "# TYPE spitz_db_commits_total counter" in text
+        assert "spitz_db_commits_total 7" in text
+
+    def test_gauges_rendered_plain(self):
+        text = render_prometheus(loaded_registry().exposition_snapshot())
+        assert "# TYPE spitz_queue_depth gauge" in text
+        assert "spitz_queue_depth 3" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(loaded_registry().exposition_snapshot())
+        series = parse_prometheus(text)
+        buckets = sorted(
+            (float(key.split('le="')[1].rstrip('"}')), value)
+            for key, value in series.items()
+            if key.startswith("spitz_request_latency_seconds_bucket")
+            and "+Inf" not in key
+        )
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        assert counts[-1] == 4.0
+        assert (
+            series['spitz_request_latency_seconds_bucket{le="+Inf"}'] == 4.0
+        )
+        assert series["spitz_request_latency_seconds_count"] == 4.0
+        assert series["spitz_request_latency_seconds_sum"] == pytest.approx(
+            0.507
+        )
+
+    def test_bucket_bounds_come_from_the_registry_grid(self):
+        text = render_prometheus(loaded_registry().exposition_snapshot())
+        for line in text.splitlines():
+            if "_bucket{le=" in line and "+Inf" not in line:
+                bound = float(line.split('le="')[1].split('"')[0])
+                assert bound in BUCKET_BOUNDS
+
+    def test_windowed_rates_rendered_with_window_label(self):
+        registry = loaded_registry()
+        clock = FakeClock()
+        plane = TelemetryPlane(registry, clock=clock)
+        plane.tick()
+        registry.counter("requests.total").inc(60)
+        clock.advance(1.0)
+        plane.tick()
+        text = render_prometheus(
+            registry.exposition_snapshot(),
+            windows=plane.windows_snapshot(),
+        )
+        series = parse_prometheus(text)
+        assert series['spitz_requests_total_rate{window="60s"}'] == 60.0
+        assert 'spitz_requests_total_rate{window="600s"}' in series
+
+    def test_shard_series_labelled_one_type_header(self):
+        shard_a = MetricsRegistry()
+        shard_a.counter("db.commits").inc(2)
+        shard_b = MetricsRegistry()
+        shard_b.counter("db.commits").inc(5)
+        text = render_prometheus(
+            loaded_registry().exposition_snapshot(),
+            shards={
+                "00": shard_a.exposition_snapshot(),
+                "01": shard_b.exposition_snapshot(),
+            },
+        )
+        series = parse_prometheus(text)
+        assert series['spitz_shard_db_commits_total{shard="00"}'] == 2.0
+        assert series['spitz_shard_db_commits_total{shard="01"}'] == 5.0
+        assert text.count("# TYPE spitz_shard_db_commits_total counter") == 1
+
+    def test_content_type_is_the_prom_text_version(self):
+        assert PROM_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+
+class TestParser:
+    def test_round_trip_has_no_duplicates(self):
+        text = render_prometheus(loaded_registry().exposition_snapshot())
+        series = parse_prometheus(text)  # raises on any duplicate
+        assert len(series) > 5
+
+    def test_duplicate_series_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus("a_total 1\na_total 2\n")
+
+    def test_same_name_different_labels_allowed(self):
+        series = parse_prometheus(
+            'a_bucket{le="1"} 1\na_bucket{le="2"} 2\n'
+        )
+        assert len(series) == 2
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError, match="bad value"):
+            parse_prometheus("a_total one\n")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="unparsable|bad metric"):
+            parse_prometheus("9bad_total 1\n")
+
+    def test_comments_and_blanks_skipped(self):
+        series = parse_prometheus(
+            "# TYPE a_total counter\n\na_total 3\n"
+        )
+        assert series == {"a_total": 3.0}
+
+
+class TestMonotone:
+    def test_counter_regression_detected(self):
+        before = {"a_total": 5.0, "g": 9.0}
+        after = {"a_total": 4.0, "g": 1.0}
+        regressions = check_monotone(before, after)
+        # Gauges may move freely; only *_total counters are held.
+        assert regressions == ["a_total: 5.0 -> 4.0"]
+
+    def test_growing_counters_pass(self):
+        before = {"a_total": 5.0}
+        after = {"a_total": 6.0, "b_total": 1.0}
+        assert check_monotone(before, after) == []
+
+    def test_labelled_counters_checked_per_series(self):
+        before = {'s_total{shard="00"} ': 5.0}
+        after = {'s_total{shard="00"} ': 5.0}
+        assert check_monotone(before, after) == []

@@ -413,3 +413,94 @@ class TestHistogramSnapshotRace:
         assert errors == []
         summary = hist.summary()
         assert summary["count"] == hist.count
+
+
+class TestCounterGaugeValueRace:
+    """Regression (PR 9): ``Counter.value``/``Gauge.value`` read
+    ``_value`` without the shared lock — the same class of race PR 4
+    fixed for ``Histogram.percentile``/``summary``.  An unlocked read
+    can observe a torn or stale value while eight writers increment.
+    """
+
+    def test_counter_reads_are_monotone_under_write_hammer(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered")
+        per_thread = 5_000
+        threads = 8
+        # Parties: the 8 writers, the reader, and this thread.
+        start = threading.Barrier(threads + 2)
+        observed = []
+        errors = []
+
+        def writer():
+            start.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        def reader():
+            start.wait()
+            last = 0
+            try:
+                while last < threads * per_thread:
+                    current = counter.value
+                    # A locked read can never go backwards and can
+                    # never exceed the final total.
+                    assert current >= last
+                    assert current <= threads * per_thread
+                    last = current
+                    observed.append(current)
+            except AssertionError as error:  # pragma: no cover
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=writer) for _ in range(threads)
+        ]
+        watcher = threading.Thread(target=reader)
+        for thread in workers:
+            thread.start()
+        watcher.start()
+        start.wait()
+        for thread in workers:
+            thread.join()
+        watcher.join(timeout=10.0)
+        assert errors == []
+        assert counter.value == threads * per_thread
+        # The reader always gets at least one read in, and its last
+        # read is the settled total.  (How many intermediate states it
+        # sees is scheduler-dependent, so we don't assert on it.)
+        assert observed
+        assert observed[-1] == threads * per_thread
+
+    def test_gauge_reads_locked_under_write_hammer(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("hammered")
+        stop = threading.Event()
+        seen = []
+        errors = []
+
+        def writer(value):
+            while not stop.is_set():
+                gauge.set(value)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    value = gauge.value
+                    assert value in (0, 1.0, 2.0, 3.0)
+                    seen.append(value)
+            except AssertionError as error:  # pragma: no cover
+                errors.append(error)
+
+        writers = [
+            threading.Thread(target=writer, args=(float(i),))
+            for i in (1, 2, 3)
+        ]
+        readers = [threading.Thread(target=reader) for _ in range(5)]
+        for thread in writers + readers:
+            thread.start()
+        time.sleep(0.2)
+        stop.set()
+        for thread in writers + readers:
+            thread.join()
+        assert errors == []
+        assert seen

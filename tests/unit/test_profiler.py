@@ -1,0 +1,109 @@
+"""Sampling profiler: a busy thread shows up in folded output, the
+sampler excludes itself, and the report is JSON-shaped."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    MAX_PROFILE_SECONDS,
+    SamplingProfiler,
+    profile_duration,
+)
+
+
+def _spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(500))
+
+
+class TestSamplingProfiler:
+    def test_busy_thread_appears_in_folded_stacks(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=_spin, args=(stop,), name="busy-worker", daemon=True
+        )
+        worker.start()
+        try:
+            profiler = SamplingProfiler(interval=0.002)
+            with profiler:
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            worker.join()
+        folded = profiler.folded()
+        assert profiler.samples > 10
+        busy_lines = [
+            line for line in folded.splitlines()
+            if line.startswith("busy-worker;")
+        ]
+        assert busy_lines, folded
+        # Folded format: semicolon-joined stack, space, count.
+        stack, count = busy_lines[0].rsplit(" ", 1)
+        assert int(count) >= 1
+        assert "_spin" in stack
+
+    def test_sampler_never_samples_itself(self):
+        profiler = SamplingProfiler(interval=0.002)
+        with profiler:
+            time.sleep(0.05)
+        assert "spitz-profiler" not in profiler.folded()
+
+    def test_sample_once_skips_the_sampling_thread(self):
+        profiler = SamplingProfiler()
+        profiler.sample_once()
+        profiler.sample_once()
+        assert profiler.samples == 2
+        # Whichever thread takes the sample is excluded — its stack is
+        # just profiling machinery, noise in a flamegraph.
+        assert threading.current_thread().name not in profiler.folded()
+
+    def test_folded_limit_takes_hottest(self):
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=_spin, args=(stop,), name="limit-worker", daemon=True
+        )
+        worker.start()
+        try:
+            profiler = SamplingProfiler()
+            for _ in range(3):
+                profiler.sample_once()
+        finally:
+            stop.set()
+            worker.join()
+        full = profiler.folded()
+        top = profiler.folded(limit=1)
+        assert len(top.splitlines()) == 1
+        assert top.splitlines()[0] == full.splitlines()[0]
+
+    def test_report_is_json_shaped(self):
+        profiler = SamplingProfiler(interval=0.002)
+        with profiler:
+            time.sleep(0.03)
+        report = profiler.report(limit=5)
+        json.dumps(report)
+        assert report["samples"] == profiler.samples
+        assert report["interval"] == 0.002
+        assert report["elapsed"] > 0
+        assert len(report["hottest"]) <= 5
+
+    def test_profile_duration_returns_stopped_profiler(self):
+        profiler = profile_duration(0.05, interval=0.002)
+        assert profiler.samples > 0
+        assert profiler._thread is None  # stopped
+        assert MAX_PROFILE_SECONDS >= 1.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+
+    def test_start_twice_is_idempotent(self):
+        profiler = SamplingProfiler(interval=0.01)
+        profiler.start()
+        first = profiler._thread
+        profiler.start()
+        assert profiler._thread is first
+        profiler.stop()
+        profiler.stop()  # idempotent too

@@ -1,0 +1,192 @@
+"""SLO burn-rate evaluation: burn math, the volume gate, the
+both-windows rule for critical, and fast-window recovery."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    STATE_CRITICAL,
+    STATE_OK,
+    STATE_WARN,
+    SloEvaluator,
+    SloObjective,
+    default_objectives,
+)
+from repro.obs.timeseries import TimeSeries
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_rig(min_requests: int = 25, with_registry: bool = False):
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    ts = TimeSeries(registry, slot_seconds=1.0, retention_slots=700,
+                    clock=clock)
+    objective = SloObjective(
+        name="get-availability", kind="get",
+        objective="availability", threshold=0.01,
+    )
+    evaluator = SloEvaluator(
+        ts, [objective], fast_window=60.0, slow_window=600.0,
+        min_requests=min_requests,
+        registry=registry if with_registry else None,
+    )
+    return registry, clock, ts, evaluator
+
+
+def drive(registry, clock, ts, ok: int, errors: int, seconds: float = 1.0):
+    """One slot of traffic: ok+errors gets, ``errors`` of them failed."""
+    registry.counter("requests.kind.get").inc(ok + errors)
+    if errors:
+        registry.counter("requests.kind.get.errors").inc(errors)
+    clock.advance(seconds)
+    ts.tick()
+
+
+class TestObjective:
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="get", objective="throughput")
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", kind="get", threshold=0.0)
+
+    def test_duplicate_names_rejected(self):
+        registry, clock, ts, _ = make_rig()
+        objective = SloObjective(name="dup", kind="get")
+        with pytest.raises(ValueError):
+            SloEvaluator(ts, [objective, objective])
+
+    def test_default_objectives_cover_served_kinds(self):
+        kinds = {o.kind for o in default_objectives()}
+        assert {"get", "put", "multi_get"} <= kinds
+
+
+class TestBurnMath:
+    def test_no_traffic_is_ok(self):
+        _, _, ts, evaluator = make_rig()
+        ts.tick()
+        (status,) = evaluator.evaluate()
+        assert status.state == STATE_OK
+        assert status.fast_burn == 0.0
+
+    def test_burn_is_error_ratio_over_budget(self):
+        registry, clock, ts, evaluator = make_rig()
+        ts.tick()
+        # 5% errors against a 1% budget = 5x burn.
+        drive(registry, clock, ts, ok=95, errors=5)
+        (status,) = evaluator.evaluate()
+        assert status.fast_burn == pytest.approx(5.0)
+        assert status.slow_burn == pytest.approx(5.0)
+
+    def test_volume_gate_blocks_critical(self):
+        # 10 requests, all failed: burn is 100x in both windows, but
+        # below min_requests nothing may trip.
+        registry, clock, ts, evaluator = make_rig(min_requests=25)
+        ts.tick()
+        drive(registry, clock, ts, ok=0, errors=10)
+        (status,) = evaluator.evaluate()
+        assert status.fast_burn > 14.4
+        assert status.state == STATE_OK
+
+    def test_hard_burn_both_windows_goes_critical(self):
+        registry, clock, ts, evaluator = make_rig()
+        ts.tick()
+        drive(registry, clock, ts, ok=0, errors=30)
+        (status,) = evaluator.evaluate()
+        assert status.state == STATE_CRITICAL
+        assert "burn" in status.detail
+        ok, reasons = evaluator.health()
+        assert not ok
+        assert "get-availability" in reasons[0]
+
+    def test_fast_window_drain_recovers_while_slow_still_hot(self):
+        registry, clock, ts, evaluator = make_rig()
+        ts.tick()
+        drive(registry, clock, ts, ok=0, errors=30)
+        (status,) = evaluator.evaluate()
+        assert status.state == STATE_CRITICAL
+        # 61 clean seconds: the burst leaves the 1m window but stays in
+        # the 10m one.  Fast burn drops, state falls out of critical —
+        # recovery is fast-window-paced by design.
+        clock.advance(61.0)
+        ts.tick()
+        (status,) = evaluator.evaluate()
+        assert status.fast_burn == 0.0
+        assert status.slow_burn > 14.4
+        assert status.state != STATE_CRITICAL
+        assert evaluator.health()[0]
+
+    def test_warn_on_single_hot_window(self):
+        registry, clock, ts, evaluator = make_rig()
+        ts.tick()
+        drive(registry, clock, ts, ok=0, errors=30)
+        clock.advance(61.0)
+        ts.tick()
+        # Keep fresh traffic in the fast window so the volume gate
+        # passes, with a healthy error ratio.
+        drive(registry, clock, ts, ok=50, errors=0)
+        (status,) = evaluator.evaluate()
+        assert status.state == STATE_WARN
+
+    def test_latency_objective_burns_on_slow_quantile(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        ts = TimeSeries(registry, clock=clock)
+        objective = SloObjective(
+            name="get-latency", kind="get", objective="latency",
+            threshold=0.1, quantile=0.99, hard_burn=1.0,
+        )
+        evaluator = SloEvaluator(ts, [objective], min_requests=25)
+        ts.tick()
+        hist = registry.histogram("request.kind.get.latency_seconds")
+        for _ in range(30):
+            hist.observe(0.5)  # 5x the 100ms target
+        clock.advance(1.0)
+        ts.tick()
+        (status,) = evaluator.evaluate()
+        assert status.fast_burn > 1.0
+        assert status.state == STATE_CRITICAL
+
+    def test_statuses_cached_between_evaluations(self):
+        registry, clock, ts, evaluator = make_rig()
+        ts.tick()
+        drive(registry, clock, ts, ok=0, errors=30)
+        evaluator.evaluate()
+        # health() must answer from the cache without re-walking slots.
+        assert not evaluator.health()[0]
+        assert evaluator.statuses[0].state == STATE_CRITICAL
+
+
+class TestGaugeExport:
+    def test_burns_and_state_exported_as_gauges(self):
+        registry, clock, ts, evaluator = make_rig(with_registry=True)
+        ts.tick()
+        drive(registry, clock, ts, ok=0, errors=30)
+        evaluator.evaluate()
+        assert registry.gauge(
+            "slo.get-availability.burn_fast"
+        ).value > 14.4
+        assert registry.gauge("slo.get-availability.state").value == 2
+
+    def test_snapshot_is_json_shaped(self):
+        import json
+
+        registry, clock, ts, evaluator = make_rig()
+        ts.tick()
+        drive(registry, clock, ts, ok=99, errors=1)
+        evaluator.evaluate()
+        snap = evaluator.snapshot()
+        json.dumps(snap)  # must already be JSON-serializable
+        assert snap["ok"] is True
+        assert snap["objectives"][0]["name"] == "get-availability"
