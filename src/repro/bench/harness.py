@@ -1102,6 +1102,159 @@ def fig_obs(
 
 
 # ---------------------------------------------------------------------------
+# Verified search — throughput and bytes per verified result at 1M keys
+# ---------------------------------------------------------------------------
+
+#: Rows committed into the search plane (250 * 4000 = 1M at default
+#: scale).
+SEARCH_SCALE_MULT = 4000
+#: Verified queries measured per mix.
+SEARCH_QUERIES = 30
+#: Rows driven through the *end-to-end* write path (per-commit index
+#: maintenance is O(touched postings), so this rung stays small and
+#: the scale rung uses the bulk loader).
+SEARCH_E2E_ROWS = 120
+
+
+def fig_search(
+    n: Optional[int] = None,
+    queries: int = SEARCH_QUERIES,
+    seed: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FigureResult:
+    """Verified-search throughput and proof cost at 1M keys.
+
+    Two rungs:
+
+    - **scale** — a :class:`~repro.workloads.search.SearchWorkload`
+      streams ``n`` rows (zipf keyword mix + quantized numeric
+      column); the committed index bulk-loads the accumulated postings
+      and anchors its manifest in one ledger block.  The measured loop
+      answers keyword-equality (zipf-drawn hot/cold terms) and
+      numeric-``between`` predicates with full
+      :class:`~repro.search.proofs.SearchProof` construction *and*
+      client-side verification of every proof — a verification failure
+      fails the figure.  Reported per mix: verified queries/s and
+      bytes per verified result.
+    - **end-to-end** — a small
+      :class:`~repro.core.database.SpitzDatabase` with
+      ``indexed_columns`` takes row inserts through the normal commit
+      pipeline, so the shared registry's ``span.search.maintain``
+      histogram (surfaced by the harness's stage breakdown and by
+      ``spitz slowest``) attributes the write-path maintenance cost.
+    """
+    import random
+
+    from repro.core.ledger import SpitzLedger
+    from repro.forkbase.chunk_store import ChunkStore
+    from repro.search.committed import SEARCH_ROOT_KEY, CommittedSearchIndex
+    from repro.search.proofs import SearchPredicate, build_search_proof
+    from repro.workloads.search import (
+        KEYWORD_COLUMN,
+        NUMERIC_COLUMN,
+        SearchWorkload,
+        StreamingZipf,
+    )
+
+    n = n if n is not None else DEFAULT_SCALE * SEARCH_SCALE_MULT
+    result = FigureResult(
+        figure="Search",
+        title=(
+            f"Verified search: throughput and proof bytes, {n} keys "
+            f"(zipf keyword + numeric range mixes)"
+        ),
+        x_label="#Keys",
+        y_label="Verified queries / s",
+    )
+    workload = SearchWorkload(rows=n, seed=seed)
+    terms, scores = workload.postings()
+    chunks = ChunkStore(metrics=metrics)
+    ledger = SpitzLedger(chunks, mask_bits=5, metrics=metrics)
+    index = CommittedSearchIndex(
+        chunks, [KEYWORD_COLUMN, NUMERIC_COLUMN]
+    )
+    index.bulk_load(KEYWORD_COLUMN, terms)
+    index.bulk_load(NUMERIC_COLUMN, scores)
+    del terms, scores
+    ledger.append_block(
+        {SEARCH_ROOT_KEY: index.manifest_bytes()},
+        statements=("SEARCH INDEX SEAL",),
+    )
+    _settle_gc()
+    verifier = ClientVerifier(metrics=metrics)
+    verifier.trust(ledger.digest())
+    term_chooser = StreamingZipf(workload.vocabulary, seed=seed + 2)
+    rng = random.Random(seed + 3)
+    mixes = [
+        (
+            "Keyword (zipf)",
+            lambda: (
+                KEYWORD_COLUMN,
+                SearchPredicate.eq(workload.term_of(term_chooser.next())),
+            ),
+        ),
+        (
+            "Numeric range",
+            lambda: (
+                NUMERIC_COLUMN,
+                (lambda low: SearchPredicate.between(
+                    float(low), float(low + 9)
+                ))(rng.randrange(max(workload.score_levels - 9, 1))),
+            ),
+        ),
+    ]
+    for label, make_query in mixes:
+        proof_bytes = 0
+        results = 0
+        start = time.perf_counter()
+        for _ in range(queries):
+            column, predicate = make_query()
+            proof = build_search_proof(ledger, index, column, predicate)
+            verifier.verify_or_raise(proof)
+            proof_bytes += proof.size_bytes
+            results += proof.result_count
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        result.series_named(f"{label}: verified q/s").add(
+            n, queries / elapsed
+        )
+        result.series_named(f"{label}: bytes/verified result").add(
+            n, proof_bytes / max(results, 1)
+        )
+        result.series_named(f"{label}: results/query").add(
+            n, results / queries
+        )
+    # End-to-end rung: normal commit pipeline with per-block index
+    # maintenance, so span.search.maintain lands in the registry.
+    db = SpitzDatabase(
+        metrics=metrics,
+        indexed_columns=["docs.term", "docs.score"],
+    )
+    db.sql(
+        "CREATE TABLE docs (id INT, term STR, score INT, "
+        "PRIMARY KEY (id))"
+    )
+    e2e = SearchWorkload(rows=SEARCH_E2E_ROWS, seed=seed + 4)
+    start = time.perf_counter()
+    for row in e2e.rows():
+        db.insert(
+            "docs",
+            {"id": row.pk, "term": row.term, "score": int(row.score)},
+        )
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    result.series_named("E2E indexed writes/s").add(
+        n, SEARCH_E2E_ROWS / elapsed
+    )
+    ukeys, proof = db.search_verified(
+        "docs.term", SearchPredicate.eq(e2e.term_of(0))
+    )
+    e2e_verifier = ClientVerifier(metrics=metrics)
+    e2e_verifier.trust(db.digest())
+    e2e_verifier.verify_or_raise(proof)
+    result.series_named("E2E hot-term matches").add(n, len(ukeys))
+    return result
+
+
+# ---------------------------------------------------------------------------
 # command line
 # ---------------------------------------------------------------------------
 
@@ -1119,6 +1272,7 @@ _RUNNERS = {
         fig_multiproof(metrics=metrics)
     ],
     "shard": lambda sizes, metrics=None: [fig_shard(metrics=metrics)],
+    "search": lambda sizes, metrics=None: [fig_search(metrics=metrics)],
     # fig_obs compares enabled vs disabled registries, so it owns its
     # registries rather than sharing the harness's.
     "obs": lambda sizes, metrics=None: [fig_obs(sizes)],

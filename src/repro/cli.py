@@ -102,6 +102,14 @@ class _Session:
 def cmd_init(args: argparse.Namespace) -> int:
     target = Path(args.db)
     if args.durable:
+        if args.index:
+            print(
+                "error: --index requires a snapshot database; durable "
+                "directories rebuild indexes on recovery (enable search "
+                "on the serving side with 'serve --index')",
+                file=sys.stderr,
+            )
+            return 1
         if target.exists() and not target.is_dir():
             print(f"{args.db} exists and is not a directory")
             return 1
@@ -115,9 +123,12 @@ def cmd_init(args: argparse.Namespace) -> int:
     if target.exists() and not args.force:
         print(f"refusing to overwrite {args.db} (use --force)")
         return 1
-    db = SpitzDatabase()
+    db = SpitzDatabase(indexed_columns=args.index or None)
     size = save_database(db, args.db)
-    print(f"initialized {args.db} ({size} bytes)")
+    indexed = (
+        f", search over {', '.join(args.index)}" if args.index else ""
+    )
+    print(f"initialized {args.db} ({size} bytes{indexed})")
     return 0
 
 
@@ -214,6 +225,90 @@ def cmd_sql(args: argparse.Namespace) -> int:
             height = getattr(result, "height", "?")
             print(f"ok: sealed block #{height}")
             session.commit()
+    return 0
+
+
+def _print_search_matches(ukeys) -> None:
+    """Render matched universal keys as ``column pk @ts`` rows."""
+    from repro.core.universal_key import UniversalKey
+
+    for ukey in ukeys:
+        try:
+            decoded = UniversalKey.decode(bytes(ukey))
+            raw = decoded.primary_key
+            if len(raw) == 8 and (raw[0] & 0x80):
+                # Integer primary keys are offset-shifted 8-byte
+                # big-endian (encode_pk); anything else renders as text.
+                pk = str(int.from_bytes(raw, "big") - 2**63)
+            else:
+                pk = raw.decode(errors="replace")
+            print(f"{decoded.column}\t{pk}\t@{decoded.timestamp}")
+        except (ValueError, UnicodeDecodeError):
+            print(bytes(ukey).hex())
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    """Secondary-index search, local session or remote server.
+
+    ``spitz search DB users.age '>= 10' --verify`` answers from an
+    opened database; ``spitz search users.age '>= 10' --port 7421
+    --verify`` asks a running ``spitz serve`` over HTTP and verifies
+    the returned proof client-side against the served digest.
+    """
+    from repro.search.proofs import SearchPredicate
+
+    predicate = SearchPredicate.parse(args.predicate)
+    if args.port is not None:
+        if args.db is not None:
+            raise SpitzError(
+                "give either a DB path or --port, not both "
+                "(remote mode takes COLUMN PREDICATE only)"
+            )
+        from repro.serve.client import HttpClusterClient
+
+        with HttpClusterClient(
+            args.host, args.port, token=args.token
+        ) as client:
+            response = client.search(
+                args.column, predicate, verify=args.verify
+            )
+        if not response.ok:
+            print(f"error: {response.error}", file=sys.stderr)
+            return 1
+        _print_search_matches(response.result)
+        if args.verify:
+            verifier = ClientVerifier()
+            verifier.trust(response.digest)
+            ok = verifier.verify(response.proof)
+            state = "VERIFIED" if ok else "VERIFICATION FAILED"
+            print(
+                f"[{state}; {len(response.result)} matches, "
+                f"{response.proof.size_bytes} proof bytes over the wire]"
+            )
+            return 0 if ok else 2
+        print(f"({len(response.result)} matches)")
+        return 0
+    if args.db is None:
+        raise SpitzError(
+            "search needs a DB path (or --port for a running server)"
+        )
+    with _Session(args.db) as session:
+        db = session.db
+        if args.verify:
+            ukeys, proof = db.search_verified(args.column, predicate)
+            verifier = ClientVerifier()
+            verifier.trust(db.digest())
+            ok = verifier.verify(proof)
+            _print_search_matches(ukeys)
+            state = "VERIFIED" if ok else "VERIFICATION FAILED"
+            print(
+                f"[{state}; {len(ukeys)} matches, {proof.size_bytes} "
+                f"proof bytes incl. completeness evidence]"
+            )
+            return 0 if ok else 2
+        ukeys = db.search(args.column, predicate)
+        _print_search_matches(ukeys)
+        print(f"({len(ukeys)} matches)")
     return 0
 
 
@@ -319,17 +414,23 @@ def _drive_traced_cluster(args: argparse.Namespace):
     """Run a small traced workload on an in-process cluster.
 
     Shared by ``trace`` and ``slowest``: puts, plain gets, verified
-    gets and one deliberately malformed request, so the flight
-    recorder holds ok *and* error traces across request kinds.
-    Returns the cluster's metrics registry (cluster already stopped).
+    gets, indexed-row inserts with verified searches (so the
+    ``search.maintain`` / ``search.prove`` stages show up in the
+    critical-path attribution) and one deliberately malformed request,
+    so the flight recorder holds ok *and* error traces across request
+    kinds.  Returns the cluster's metrics registry (cluster already
+    stopped).
     """
     # Imported here: only these subcommands need the control layer.
     from repro.core.node import SpitzCluster
     from repro.core.request_handler import Request, RequestKind
 
-    cluster = SpitzCluster(nodes=args.nodes)
+    cluster = SpitzCluster(nodes=args.nodes, indexed_columns=["t.score"])
     cluster.start()
     try:
+        cluster.submit(Request(RequestKind.SQL, {
+            "text": "CREATE TABLE t (id INT, score INT, PRIMARY KEY (id))"
+        }))
         for i in range(args.ops):
             key = f"trace:{i % max(args.ops // 2, 1)}".encode()
             cluster.submit(
@@ -339,6 +440,20 @@ def _drive_traced_cluster(args: argparse.Namespace):
             cluster.submit(
                 Request(RequestKind.GET, {"key": key}, verify=True)
             )
+            cluster.submit(Request(RequestKind.SQL, {
+                "text": (
+                    f"INSERT INTO t (id, score) VALUES ({i}, {i % 10})"
+                )
+            }))
+            if i % 5 == 0:
+                cluster.submit(Request(
+                    RequestKind.SEARCH,
+                    {
+                        "column": "t.score",
+                        "predicate": {"op": "between", "low": 2, "high": 6},
+                    },
+                    verify=True,
+                ))
         # One malformed request so the failure ring is never empty.
         cluster.submit(Request(RequestKind.GET, {"wrong_field": 1}))
     finally:
@@ -412,6 +527,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         burst=args.burst,
         request_timeout=args.request_timeout,
         shards=args.shards,
+        indexed_columns=getattr(args, "index", None) or None,
     )
     auth = "token auth" if args.token else "open (no auth)"
     limit = (
@@ -519,6 +635,22 @@ def _render_top(
         lines.append("  by kind: " + "  ".join(
             f"{kind} {rate:.1f}/s" for kind, rate in kinds
         ))
+    search_qps = rates.get("search.queries", 0.0)
+    search_hists = fast.get("histograms", {})
+    maintain = search_hists.get("span.search.maintain", {})
+    if search_qps or maintain.get("count"):
+        match_rate = rates.get("search.matches", 0.0)
+        proof_rate = rates.get("search.proof_bytes", 0.0)
+        lines.append(
+            f"  search: {search_qps:.1f} q/s   matches {match_rate:.1f}/s"
+            f"   proof {proof_rate:.0f} B/s"
+        )
+        if maintain.get("count"):
+            lines.append(
+                f"  index maintain p50 {maintain['p50'] * 1000:7.3f}ms   "
+                f"p99 {maintain['p99'] * 1000:7.3f}ms   "
+                f"({maintain['count']} seals)"
+            )
     shards = snapshot.get("shards")
     if shards:
         lines.append("  shards (write rate):")
@@ -650,6 +782,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--durable", action="store_true",
         help="create a WAL+checkpoint directory instead of a snapshot file",
     )
+    p.add_argument(
+        "--index", action="append", default=[], metavar="TABLE.COLUMN",
+        help="enable the verified search plane over this column "
+             "(repeatable; snapshot databases only)",
+    )
     p.set_defaults(func=cmd_init)
 
     p = sub.add_parser("put", help="write one key")
@@ -692,6 +829,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("db")
     p.add_argument("statement")
     p.set_defaults(func=cmd_sql)
+
+    p = sub.add_parser(
+        "search",
+        help="secondary-index search; --verify proves membership AND "
+             "completeness against the pinned digest",
+    )
+    p.add_argument(
+        "db", nargs="?", default=None,
+        help="database path (omit in remote mode with --port)",
+    )
+    p.add_argument("column", metavar="TABLE.COLUMN")
+    p.add_argument(
+        "predicate",
+        help="'== foo', '>= 10', '< 2.5', 'between 3 7', or a bare "
+             "keyword (equality); quote a literal to force a string",
+    )
+    p.add_argument("--verify", action="store_true")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="query a running spitz serve instead of a DB path")
+    p.add_argument("--token", default=None, help="auth token to present")
+    p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("digest", help="print the ledger digest")
     p.add_argument("db")
@@ -787,6 +946,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-client burst size (defaults to 2x rate)")
     p.add_argument("--request-timeout", type=float, default=10.0,
                    help="default per-request deadline, seconds")
+    p.add_argument("--index", action="append", default=[],
+                   metavar="TABLE.COLUMN",
+                   help="enable the verified search plane over this "
+                        "column (repeatable; incompatible with --shards)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

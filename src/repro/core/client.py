@@ -156,6 +156,28 @@ class ClusterClient:
             Request(RequestKind.MULTI_GET, {"keys": list(keys)}, verify)
         )
 
+    def search(self, column, predicate, verify: bool = False) -> Response:
+        """Secondary-index search on ``column``.
+
+        ``predicate`` is a
+        :class:`~repro.search.proofs.SearchPredicate` or a string in
+        its CLI grammar (``'>= 10'``, ``'between 3 7'``, a bare
+        keyword).  With ``verify`` the response carries a
+        :class:`~repro.search.proofs.SearchProof` covering membership
+        and completeness.
+        """
+        from repro.search.proofs import SearchPredicate
+
+        if isinstance(predicate, str):
+            predicate = SearchPredicate.parse(predicate)
+        return self.call(
+            Request(
+                RequestKind.SEARCH,
+                {"column": column, "predicate": predicate.to_payload()},
+                verify,
+            )
+        )
+
 
 @dataclass
 class SaturationReport:

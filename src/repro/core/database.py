@@ -35,6 +35,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.crypto.hashing import Digest
@@ -77,6 +78,13 @@ from repro.core.schema import (
 )
 from repro.core import sql as sql_module
 from repro.core.universal_key import UniversalKey
+from repro.search.committed import SEARCH_ROOT_KEY, CommittedSearchIndex
+from repro.search.proofs import (
+    SearchPredicate,
+    SearchProof,
+    build_search_proof,
+    evaluate_on_inverted,
+)
 
 _KV_COLUMN = "default"
 
@@ -92,6 +100,7 @@ class SpitzDatabase:
         block_batch: int = 1,
         metrics: Optional[MetricsRegistry] = None,
         oracle: Optional[object] = None,
+        indexed_columns: Optional[Sequence[str]] = None,
     ):
         if block_batch < 1:
             raise ValueError("block_batch must be positive")
@@ -130,6 +139,23 @@ class SpitzDatabase:
         # Deliberately excluded from pickling (see __getstate__): a
         # snapshot captures state, not live observers.
         self._commit_hooks: List[Callable[[str, Dict[str, object]], None]] = []
+        # Verifiable search plane (DESIGN.md §6i): with indexed columns
+        # configured, every sealed block also commits the per-column
+        # search manifest under a reserved ledger key, making secondary-
+        # index answers provable.  ``None`` = unverified search only.
+        self._search: Optional[CommittedSearchIndex] = None
+        if indexed_columns:
+            self._search = CommittedSearchIndex(
+                self.chunks, indexed_columns
+            )
+        self._c_search_queries = self.metrics.counter("search.queries")
+        self._c_search_matches = self.metrics.counter("search.matches")
+        self._c_search_proof_bytes = self.metrics.counter(
+            "search.proof_bytes"
+        )
+        self._c_search_maintained = self.metrics.counter(
+            "search.maintained_postings"
+        )
 
     # ------------------------------------------------------------------
     # commit hooks (durability / replication observers)
@@ -229,7 +255,7 @@ class SpitzDatabase:
                     mvcc_writes, timestamp, txn_id=0
                 )
         if self.block_batch == 1 and not self._pending_writes:
-            block = self.ledger.append_block(writes, statements)
+            block = self._append_ledger_block(writes, statements)
         else:
             self._pending_writes.update(writes)
             self._pending_statements.extend(statements)
@@ -250,13 +276,33 @@ class SpitzDatabase:
     def flush_ledger(self) -> Block:
         """Seal pending ledger writes into a block (no-op-safe)."""
         if self._pending_writes:
-            block = self.ledger.append_block(
+            block = self._append_ledger_block(
                 self._pending_writes, tuple(self._pending_statements)
             )
             self._pending_writes = {}
             self._pending_statements = []
             return block
         return self.ledger.latest_block()
+
+    def _append_ledger_block(
+        self, writes: Mapping[bytes, object], statements=()
+    ) -> Block:
+        """Seal one block, folding the committed search manifest in.
+
+        The reserved search key is injected here — at seal time only —
+        so it never flows through the cell store, the MVCC store or the
+        commit hooks (durability replay re-derives it from the same
+        writes), while the block's tree root (and hence the chain
+        digest clients pin) commits to every indexed column's postings.
+        """
+        if self._search is None:
+            return self.ledger.append_block(writes, statements)
+        with self.metrics.tracer.stage("search.maintain"):
+            self._c_search_maintained.inc(self._search.pending_changes)
+            manifest = self._search.seal(self.inverted)
+        sealed = dict(writes)
+        sealed[SEARCH_ROOT_KEY] = manifest
+        return self.ledger.append_block(sealed, statements)
 
     def _on_txn_commit(self, txn: Transaction) -> None:
         if not txn.write_buffer:
@@ -285,6 +331,8 @@ class SpitzDatabase:
             decoded, bool
         ):
             self.inverted.add(column, decoded, ukey.encode())
+            if self._search is not None:
+                self._search.note_change(column, decoded)
 
     def _unindex(
         self, logical_key: bytes, column: str, primary_key: bytes
@@ -299,6 +347,8 @@ class SpitzDatabase:
             decoded, bool
         ):
             self.inverted.remove(column, decoded, previous.ukey.encode())
+            if self._search is not None:
+                self._search.note_change(column, decoded)
 
     # ------------------------------------------------------------------
     # key-value API (column "default"; the paper's Section 6 workloads)
@@ -441,6 +491,106 @@ class SpitzDatabase:
         return self.ledger.verify_chain()
 
     # ------------------------------------------------------------------
+    # verifiable search plane (DESIGN.md §6i)
+    # ------------------------------------------------------------------
+
+    @property
+    def search_columns(self) -> Tuple[str, ...]:
+        """Columns covered by the committed search index (sorted)."""
+        if self._search is None:
+            return ()
+        return self._search.columns
+
+    def enable_search(self, columns: Sequence[str]) -> None:
+        """Start committing the given columns' postings.
+
+        Existing postings are folded in immediately (a full rebuild
+        from the inverted index), so a database that indexed rows
+        before the search plane was enabled still proves complete
+        answers.  Re-enabling with the same columns is a no-op.
+        """
+        with self.txn_manager.commit_lock:
+            if self._search is not None:
+                if tuple(sorted(columns)) == self._search.columns:
+                    return
+                raise QueryError(
+                    "search index already enabled for columns "
+                    f"{list(self._search.columns)}"
+                )
+            index = CommittedSearchIndex(self.chunks, columns)
+            index.rebuild_from(self.inverted)
+            self._search = index
+
+    def search(
+        self, column: str, predicate: Union[str, SearchPredicate]
+    ) -> List[bytes]:
+        """Unverified search: universal keys matching ``predicate``.
+
+        Served straight from the in-memory inverted index; works on
+        any "."-qualified column whether or not it is committed.
+        ``predicate`` may be a :class:`SearchPredicate` or a string in
+        its CLI grammar (``'>= 10'``, ``'between 3 7'``, a keyword).
+        """
+        if isinstance(predicate, str):
+            predicate = SearchPredicate.parse(predicate)
+        with self.metrics.tracer.stage_in_trace("search.query"):
+            matches = evaluate_on_inverted(
+                self.inverted, column, predicate
+            )
+        self._c_search_queries.inc()
+        self._c_search_matches.inc(len(matches))
+        return matches
+
+    def search_verified(
+        self, column: str, predicate: Union[str, SearchPredicate]
+    ) -> Tuple[List[bytes], SearchProof]:
+        """Search plus a proof of membership *and* completeness.
+
+        The proof anchors the committed index manifest in the latest
+        sealed block, then carries the matched postings' branches plus
+        the boundary evidence that nothing in range was omitted.
+        ``predicate`` accepts the same forms as :meth:`search`.
+        """
+        if isinstance(predicate, str):
+            predicate = SearchPredicate.parse(predicate)
+        if self._search is None:
+            raise QueryError(
+                "verified search requires indexed_columns= (or "
+                "enable_search()); unverified search() still works"
+            )
+        self._ensure_search_sealed()
+        with self.metrics.tracer.stage_in_trace("search.prove"):
+            proof = build_search_proof(
+                self.ledger, self._search, column, predicate
+            )
+        self._c_search_queries.inc()
+        self._c_search_matches.inc(proof.result_count)
+        self._c_search_proof_bytes.inc(proof.size_bytes)
+        return list(proof.ukeys), proof
+
+    def _ensure_search_sealed(self) -> None:
+        """Guarantee the latest block commits the current manifest.
+
+        Covers the cold-start case (index enabled, nothing written
+        yet) and rebuilds after ``enable_search``: if the chain's
+        anchored manifest is stale, seal a dedicated block carrying
+        only the reserved key.
+        """
+        assert self._search is not None
+        with self.txn_manager.commit_lock:
+            self.flush_ledger()
+            with self.metrics.tracer.stage("search.maintain"):
+                self._c_search_maintained.inc(
+                    self._search.pending_changes
+                )
+                manifest = self._search.seal(self.inverted)
+            if self.ledger.get(SEARCH_ROOT_KEY) != manifest:
+                self.ledger.append_block(
+                    {SEARCH_ROOT_KEY: manifest},
+                    statements=("SEARCH INDEX SEAL",),
+                )
+
+    # ------------------------------------------------------------------
     # table API
     # ------------------------------------------------------------------
 
@@ -448,7 +598,7 @@ class SpitzDatabase:
         if schema.name in self._tables:
             raise SchemaError(f"table {schema.name!r} already exists")
         self._tables[schema.name] = schema
-        self.ledger.append_block(
+        self._append_ledger_block(
             {},
             statements=(
                 f"CREATE TABLE {schema.name} "

@@ -36,7 +36,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.core.auditor import Auditor
 from repro.core.database import SpitzDatabase
@@ -469,11 +469,17 @@ class SpitzCluster:
         shards: int = 1,
         telemetry: bool = True,
         telemetry_clock=None,
+        indexed_columns: Optional[Sequence[str]] = None,
     ):
         if nodes < 1:
             raise ValueError("need at least one processor node")
         if shards < 1:
             raise ValueError("need at least one shard")
+        if indexed_columns and shards > 1:
+            raise ValueError(
+                "verified search is not available on a sharded cluster "
+                "(postings would span shard ledgers); run with shards=1"
+            )
         if shards > 1:
             # Imported here: the shard facade sits above core in the
             # layering (same pattern as the durability import below).
@@ -498,9 +504,18 @@ class SpitzCluster:
                 metrics=metrics,
             )
             self.db = self.durable.db
+            if indexed_columns:
+                # Recovery replays the WAL through the normal commit
+                # path, so the inverted index is already rebuilt;
+                # enable_search folds it into committed trees.
+                self.db.enable_search(indexed_columns)
         else:
             self.durable = None
-            self.db = SpitzDatabase(mask_bits=mask_bits, metrics=metrics)
+            self.db = SpitzDatabase(
+                mask_bits=mask_bits,
+                metrics=metrics,
+                indexed_columns=indexed_columns,
+            )
         self.metrics = self.db.metrics
         self.queue = MessageQueue(
             metrics=self.metrics,

@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional
 from repro.errors import QueryError, SpitzError
 from repro.core.database import SpitzDatabase
 from repro.core.ledger import LedgerDigest
+from repro.search.proofs import SearchPredicate
 
 
 class RequestKind(enum.Enum):
@@ -33,6 +34,13 @@ class RequestKind(enum.Enum):
     #: Metrics snapshot of the shared storage layer — answerable by
     #: any processor node (they all share one registry).
     STATS = "stats"
+    #: Secondary-index search: ``payload["column"]`` names a table
+    #: cell column, ``payload["predicate"]`` is a
+    #: :meth:`~repro.search.proofs.SearchPredicate.to_payload` dict;
+    #: with ``verify=True`` the response carries a
+    #: :class:`~repro.search.proofs.SearchProof` (membership *and*
+    #: completeness, DESIGN.md §6i).
+    SEARCH = "search"
 
 
 @dataclass(frozen=True)
@@ -194,6 +202,13 @@ class RequestHandler:
                 )
                 return entries, proof
             return self._db.scan(payload["low"], payload["high"]), None
+        if kind is RequestKind.SEARCH:
+            column = payload["column"]
+            predicate = SearchPredicate.from_payload(payload["predicate"])
+            if request.verify:
+                ukeys, proof = self._db.search_verified(column, predicate)
+                return ukeys, proof
+            return self._db.search(column, predicate), None
         if kind is RequestKind.SQL:
             return self._db.sql(payload["text"]), None
         if kind is RequestKind.HISTORY:

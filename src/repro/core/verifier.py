@@ -20,9 +20,10 @@ from repro.core.proofs import (
     LedgerRangeProof,
 )
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.search.proofs import SearchProof
 from repro.txn.batch import DeferredVerifier
 
-Proof = Union[LedgerProof, LedgerRangeProof, LedgerMultiProof]
+Proof = Union[LedgerProof, LedgerRangeProof, LedgerMultiProof, SearchProof]
 
 
 class ClientVerifier:
@@ -290,6 +291,8 @@ class ClientVerifier:
             nodes = proof.multi.nodes
         elif isinstance(proof, LedgerRangeProof):
             nodes = proof.range_proof.nodes
+        elif isinstance(proof, SearchProof):
+            nodes = proof.cacheable_nodes
         else:
             # Sharded (and future) proof types advertise their index
             # nodes themselves; anything that doesn't simply skips

@@ -10,15 +10,38 @@ consumption."
 This module implements exactly that dispatch: one posting structure
 per column, chosen by value type.  A *posting* is the set of universal
 keys whose cells carry the indexed value.
+
+Canonical-ordering and aliasing guarantees (the search plane commits
+these postings under a Merkle root, so both matter):
+
+- every query method returns a **fresh list** in a **deterministic
+  order** — ascending value order, then ascending universal-key order
+  within one value.  Mutating a returned list can never corrupt the
+  index (the internal posting sets are never handed out).
+- values are type-checked on **every** ``add`` (not only at column
+  creation), ``NaN`` is rejected (it has no total order, so it would
+  silently corrupt the skip list), and ``remove`` with a wrong-typed
+  or unindexable value is a no-op — such a value can never have been
+  indexed, so there is nothing to remove.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterator, List, Optional, Set
 
 from repro.errors import QueryError
 from repro.indexes.radix import RadixTree
 from repro.indexes.skiplist import SkipList
+
+
+def _check_indexable(value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise QueryError(
+            f"cannot index value of type {type(value).__name__}"
+        )
+    if isinstance(value, float) and math.isnan(value):
+        raise QueryError("cannot index NaN: it has no total order")
 
 
 class _NumericPostings:
@@ -117,14 +140,9 @@ class InvertedIndex:
         self._columns: Dict[str, object] = {}
 
     def _postings_for(self, column: str, value: Any):
+        _check_indexable(value)
         postings = self._columns.get(column)
         if postings is None:
-            if isinstance(value, bool) or not isinstance(
-                value, (int, float, str)
-            ):
-                raise QueryError(
-                    f"cannot index value of type {type(value).__name__}"
-                )
             postings = (
                 _StringPostings()
                 if isinstance(value, str)
@@ -143,10 +161,23 @@ class InvertedIndex:
         self._postings_for(column, value).add(value, ukey)
 
     def remove(self, column: str, value: Any, ukey: bytes) -> None:
-        """Drop one posting (no-op if absent)."""
+        """Drop one posting (no-op if absent).
+
+        A wrong-typed or unindexable ``value`` is also a no-op: such a
+        value can never have been indexed, so there is nothing to
+        remove — it must not raise from deep inside the posting
+        structure.
+        """
         postings = self._columns.get(column)
-        if postings is not None:
-            postings.remove(value, ukey)
+        if postings is None:
+            return
+        try:
+            _check_indexable(value)
+        except QueryError:
+            return
+        if isinstance(value, str) != isinstance(postings, _StringPostings):
+            return
+        postings.remove(value, ukey)
 
     def lookup(self, column: str, value: Any) -> List[bytes]:
         """Universal keys whose ``column`` cell equals ``value``."""
@@ -170,6 +201,18 @@ class InvertedIndex:
         if not isinstance(postings, _StringPostings):
             raise QueryError(f"column {column!r} is not a string column")
         return postings.prefix(prefix)
+
+    def values(self, column: str) -> Iterator[Any]:
+        """Distinct indexed values of ``column``, in ascending order.
+
+        The committed search index rebuilds from this (every value's
+        posting is re-read via :meth:`lookup`), so the iteration order
+        is part of the canonical-ordering contract.
+        """
+        postings = self._columns.get(column)
+        if postings is None:
+            return iter(())
+        return postings.values()
 
     def columns(self) -> List[str]:
         return sorted(self._columns)

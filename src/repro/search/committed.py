@@ -1,0 +1,375 @@
+"""Deterministic commitment over secondary-index postings.
+
+Each indexed column becomes one POS-tree whose leaves are canonical
+``encoded-value → encoded-sorted-posting-list`` entries.  The encoding
+is order-preserving (range predicates become tree scans) and strictly
+canonical (one byte string per logical state), so the column root is a
+pure function of the column's current postings — the structural
+invariance the POS-tree already guarantees for the primary ledger
+index ("Analysis of Indexing Structures for Immutable Data" motivates
+committing the secondary structure the same way).
+
+The per-column roots are folded into a *manifest* — a sorted, length-
+prefixed binary listing of ``(column name, root)`` pairs — and the
+manifest bytes are written under :data:`SEARCH_ROOT_KEY` inside every
+sealed ledger block.  The block's tree root therefore commits to the
+manifest, the chain digest commits to the block, and the digest a
+client pins commits to every column index transitively.  A search
+proof anchors itself with an ordinary ledger point proof of the
+reserved key; ``index_root`` (the hash of the manifest bytes) is the
+single-digest form reported in stats and CLI output.
+
+Value encoding:
+
+- numeric (int/float, never bool): tag ``n`` + 8 bytes of the IEEE-754
+  big-endian bit pattern with the usual order-preserving transform
+  (flip all bits when negative, else set the sign bit).  NaN is
+  rejected at indexing time — it has no total order, so it can neither
+  live in the skip list nor be committed canonically.
+- string: tag ``s`` + UTF-8 bytes (byte order equals code-point
+  order, which equals Python ``str`` comparison order).
+
+Posting lists are encoded sorted and deduplicated, each universal key
+length-prefixed; decoding *enforces* the canonical form (strictly
+increasing entries, exact consumption) so a non-canonical byte string
+can never round-trip silently.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import Digest, hash_bytes
+from repro.errors import QueryError
+from repro.forkbase.chunk_store import ChunkStore
+from repro.indexes.pos_tree import DEFAULT_MASK_BITS, PosTree
+from repro.indexes.siri import DELETE
+
+#: Reserved logical key the search manifest is sealed under.  The
+#: prefix is disjoint from the KV/table/document prefixes, so the key
+#: can never collide with user data and never flows through the cell
+#: store (it is injected at block-seal time only).
+SEARCH_PREFIX = b"s\x00"
+SEARCH_ROOT_KEY = SEARCH_PREFIX + b"__index_root__"
+
+_NUMERIC_TAG = b"n"
+_STRING_TAG = b"s"
+
+#: Scan bounds bracketing every possible encoded value of one type.
+#: Numeric encodings are exactly 9 bytes, so ``n`` + 8×0xff is an
+#: inclusive upper bound; strings are unbounded in length, so the
+#: upper bound is the next tag byte (``t`` > ``s`` + any suffix).
+NUMERIC_MIN = _NUMERIC_TAG + b"\x00" * 8
+NUMERIC_MAX = _NUMERIC_TAG + b"\xff" * 8
+STRING_MIN = _STRING_TAG
+STRING_MAX = b"t"
+
+_MANIFEST_MAGIC = b"SIDX1"
+
+
+def encode_search_value(value) -> bytes:
+    """Canonical order-preserving encoding of one indexable value."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise QueryError(
+            f"cannot index value of type {type(value).__name__}"
+        )
+    if isinstance(value, str):
+        return _STRING_TAG + value.encode("utf-8")
+    number = float(value)
+    if math.isnan(number):
+        raise QueryError("cannot index NaN: it has no total order")
+    bits = struct.unpack(">Q", struct.pack(">d", number))[0]
+    if bits & 0x8000_0000_0000_0000:
+        bits ^= 0xFFFF_FFFF_FFFF_FFFF
+    else:
+        bits |= 0x8000_0000_0000_0000
+    return _NUMERIC_TAG + struct.pack(">Q", bits)
+
+
+def decode_search_value(data: bytes):
+    """Inverse of :func:`encode_search_value` (numerics come back as
+    ``float``); raises ``ValueError`` on any malformed input."""
+    if not data:
+        raise ValueError("empty encoded search value")
+    tag, body = data[:1], data[1:]
+    if tag == _STRING_TAG:
+        return body.decode("utf-8")
+    if tag != _NUMERIC_TAG:
+        raise ValueError(f"unknown search value tag {tag!r}")
+    if len(body) != 8:
+        raise ValueError("numeric search value must be 9 bytes")
+    bits = struct.unpack(">Q", body)[0]
+    if bits & 0x8000_0000_0000_0000:
+        bits &= 0x7FFF_FFFF_FFFF_FFFF
+    else:
+        bits ^= 0xFFFF_FFFF_FFFF_FFFF
+    number = struct.unpack(">d", struct.pack(">Q", bits))[0]
+    if math.isnan(number):
+        raise ValueError("encoded numeric decodes to NaN")
+    return number
+
+
+def encode_postings(ukeys: Iterable[bytes]) -> bytes:
+    """Canonical posting-list bytes: sorted, deduplicated, each entry
+    length-prefixed.  Canonicalization happens here, so callers may
+    pass postings in any order."""
+    entries = sorted(set(ukeys))
+    parts = [struct.pack(">I", len(entries))]
+    for ukey in entries:
+        if len(ukey) > 0xFFFF:
+            raise QueryError("posting entry exceeds 65535 bytes")
+        parts.append(struct.pack(">H", len(ukey)))
+        parts.append(ukey)
+    return b"".join(parts)
+
+
+def decode_postings(data: bytes) -> Tuple[bytes, ...]:
+    """Strict inverse of :func:`encode_postings`.
+
+    Raises ``ValueError`` unless the bytes are exactly canonical:
+    declared count, strictly increasing entries, nothing trailing.
+    """
+    if len(data) < 4:
+        raise ValueError("posting list too short")
+    (count,) = struct.unpack(">I", data[:4])
+    offset = 4
+    entries: List[bytes] = []
+    previous: Optional[bytes] = None
+    for _ in range(count):
+        if offset + 2 > len(data):
+            raise ValueError("truncated posting list")
+        (length,) = struct.unpack(">H", data[offset:offset + 2])
+        offset += 2
+        if offset + length > len(data):
+            raise ValueError("truncated posting entry")
+        entry = data[offset:offset + length]
+        offset += length
+        if previous is not None and entry <= previous:
+            raise ValueError("posting list is not canonically sorted")
+        previous = entry
+        entries.append(entry)
+    if offset != len(data):
+        raise ValueError("trailing bytes after posting list")
+    return tuple(entries)
+
+
+def encode_manifest(roots: Mapping[str, Digest]) -> bytes:
+    """Canonical manifest bytes: sorted ``(column, root)`` pairs."""
+    parts = [_MANIFEST_MAGIC, struct.pack(">I", len(roots))]
+    for name in sorted(roots):
+        encoded = name.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise QueryError("column name exceeds 65535 bytes")
+        root = roots[name]
+        if len(root) != 32:
+            raise QueryError("column root must be a 32-byte digest")
+        parts.append(struct.pack(">H", len(encoded)))
+        parts.append(encoded)
+        parts.append(bytes(root))
+    return b"".join(parts)
+
+
+def decode_manifest(data: bytes) -> Dict[str, Digest]:
+    """Strict inverse of :func:`encode_manifest` (``ValueError`` on
+    anything non-canonical: bad magic, unsorted or duplicate column
+    names, trailing bytes)."""
+    if data[:5] != _MANIFEST_MAGIC:
+        raise ValueError("bad search manifest magic")
+    if len(data) < 9:
+        raise ValueError("search manifest too short")
+    (count,) = struct.unpack(">I", data[5:9])
+    offset = 9
+    roots: Dict[str, Digest] = {}
+    previous: Optional[str] = None
+    for _ in range(count):
+        if offset + 2 > len(data):
+            raise ValueError("truncated search manifest")
+        (length,) = struct.unpack(">H", data[offset:offset + 2])
+        offset += 2
+        if offset + length + 32 > len(data):
+            raise ValueError("truncated search manifest entry")
+        name = data[offset:offset + length].decode("utf-8")
+        offset += length
+        root = Digest(data[offset:offset + 32])
+        offset += 32
+        if previous is not None and name <= previous:
+            raise ValueError("search manifest is not canonically sorted")
+        previous = name
+        roots[name] = root
+    if offset != len(data):
+        raise ValueError("trailing bytes after search manifest")
+    return roots
+
+
+def index_root_of(manifest: bytes) -> Digest:
+    """The single combined ``index_root`` digest over all columns."""
+    return hash_bytes(manifest)
+
+
+class CommittedSearchIndex:
+    """Merkle commitment over the postings of the configured columns.
+
+    One POS-tree per column over the shared chunk store.  Incremental
+    maintenance is two-phase to match the database's commit pipeline:
+    :meth:`note_change` records which ``(column, value)`` postings a
+    commit touched (O(1), on the write path), and :meth:`seal` folds
+    every touched posting's *current* state — read back from the
+    inverted index, the single source of truth — into the trees at
+    block-seal time, O(touched × height) via :meth:`PosTree.apply`.
+    """
+
+    def __init__(
+        self,
+        store: ChunkStore,
+        columns: Sequence[str],
+        mask_bits: int = DEFAULT_MASK_BITS,
+    ):
+        names = list(columns)
+        if not names:
+            raise QueryError("indexed_columns must name at least one column")
+        if len(set(names)) != len(names):
+            raise QueryError("indexed_columns contains duplicates")
+        for name in names:
+            if "." not in name:
+                raise QueryError(
+                    f"indexed column {name!r} must be a table cell "
+                    "column (\"table.column\"); KV cells are not "
+                    "value-indexed"
+                )
+        self.store = store
+        self.mask_bits = mask_bits
+        self._trees: Dict[str, PosTree] = {
+            name: PosTree.empty(store, mask_bits) for name in sorted(names)
+        }
+        self._dirty: Dict[str, set] = {name: set() for name in self._trees}
+        self._manifest: Optional[bytes] = None
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(self._trees)
+
+    def covers(self, column: str) -> bool:
+        return column in self._trees
+
+    def tree(self, column: str) -> Optional[PosTree]:
+        return self._trees.get(column)
+
+    def root(self, column: str) -> Optional[Digest]:
+        tree = self._trees.get(column)
+        return tree.root if tree is not None else None
+
+    def note_change(self, column: str, value) -> None:
+        """Record one touched posting; folded at the next :meth:`seal`."""
+        dirty = self._dirty.get(column)
+        if dirty is None:
+            return
+        if isinstance(value, bool) or not isinstance(
+            value, (int, float, str)
+        ):
+            return  # unindexable values never reach the inverted index
+        dirty.add(value)
+        self._manifest = None
+
+    @property
+    def pending_changes(self) -> int:
+        return sum(len(values) for values in self._dirty.values())
+
+    def seal(self, inverted) -> bytes:
+        """Fold touched postings into the trees; return manifest bytes.
+
+        ``inverted`` is the :class:`~repro.indexes.inverted
+        .InvertedIndex` holding the authoritative postings.  A value
+        whose posting emptied is deleted from the tree, keeping the
+        committed leaf set exactly the set of live postings.
+        """
+        for column, values in self._dirty.items():
+            if not values:
+                continue
+            updates: Dict[bytes, object] = {}
+            for value in values:
+                postings = inverted.lookup(column, value)
+                key = encode_search_value(value)
+                updates[key] = (
+                    encode_postings(postings) if postings else DELETE
+                )
+            self._trees[column] = self._trees[column].apply(updates)
+            values.clear()
+        return self.manifest_bytes()
+
+    def manifest_bytes(self) -> bytes:
+        """Current manifest bytes (cached until a tree changes).
+
+        Note this reflects *sealed* state only — call :meth:`seal`
+        first if changes are pending.
+        """
+        if self._manifest is None:
+            self._manifest = encode_manifest(
+                {name: tree.root for name, tree in self._trees.items()}
+            )
+        return self._manifest
+
+    @property
+    def index_root(self) -> Digest:
+        return index_root_of(self.manifest_bytes())
+
+    def bulk_load(
+        self, column: str, postings_by_value: Mapping[object, Sequence[bytes]]
+    ) -> None:
+        """Replace one column's tree from a full postings mapping.
+
+        The benchmark's 1M-key path: :meth:`PosTree.from_items` bulk
+        build instead of per-commit :meth:`apply` churn.
+        """
+        if column not in self._trees:
+            raise QueryError(f"column {column!r} is not indexed")
+        items = [
+            (encode_search_value(value), encode_postings(ukeys))
+            for value, ukeys in postings_by_value.items()
+            if ukeys
+        ]
+        self._trees[column] = PosTree.from_items(
+            self.store, items, self.mask_bits
+        )
+        self._dirty[column].clear()
+        self._manifest = None
+
+    def rebuild_from(self, inverted) -> None:
+        """Rebuild every column tree from the inverted index.
+
+        Used when search is enabled on a database that already holds
+        data (``SpitzDatabase.enable_search``): the committed trees
+        must reflect the *full* current postings, not just changes
+        observed from now on.
+        """
+        for column in self._trees:
+            postings: Dict[object, List[bytes]] = {}
+            for value in inverted.values(column):
+                postings[value] = inverted.lookup(column, value)
+            if postings:
+                self.bulk_load(column, postings)
+            else:
+                self._trees[column] = PosTree.empty(
+                    self.store, self.mask_bits
+                )
+                self._dirty[column].clear()
+                self._manifest = None
+
+
+__all__ = [
+    "SEARCH_PREFIX",
+    "SEARCH_ROOT_KEY",
+    "NUMERIC_MIN",
+    "NUMERIC_MAX",
+    "STRING_MIN",
+    "STRING_MAX",
+    "CommittedSearchIndex",
+    "decode_manifest",
+    "decode_postings",
+    "decode_search_value",
+    "encode_manifest",
+    "encode_postings",
+    "encode_search_value",
+    "index_root_of",
+]

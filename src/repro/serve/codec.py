@@ -32,6 +32,10 @@ Framing rules — JSON has no bytes, so binary values are *tagged*:
   ``{"$sharded_proof": ...}`` / ``{"$sharded_multi_proof": ...}``: the
   inner single-ledger proof frames plus an explicit shard-membership
   branch (shard id, shard digest, Merkle path) per part;
+- :class:`~repro.search.proofs.SearchProof` → ``{"$search_proof":
+  {"column", "predicate", "matches", "anchor", "evidence"}}``: the
+  predicate as plain JSON scalars, the anchor as a point-proof frame,
+  the evidence tagged ``point``/``range`` by kind;
 - tuples → JSON lists (decoders restore tuples where the proof schema
   requires them).
 
@@ -46,7 +50,7 @@ from __future__ import annotations
 import base64
 from typing import Any, Dict, Optional
 
-from repro.core.ledger import LedgerDigest
+from repro.core.ledger import Block, LedgerDigest
 from repro.core.proofs import (
     BlockWitness,
     LedgerMultiProof,
@@ -59,6 +63,7 @@ from repro.errors import SpitzError
 from repro.crypto.merkle import MerkleProof
 from repro.indexes.pos_tree import PosMultiProof, PosRangeProof
 from repro.indexes.siri import SiriProof
+from repro.search.proofs import SearchPredicate, SearchProof
 from repro.shard.digest import ShardMembership, ShardedDigest
 from repro.shard.proofs import (
     ShardedMultiPart,
@@ -105,6 +110,16 @@ def encode_value(value: Any) -> Any:
         return {"$sharded_proof": _encode_sharded_proof(value)}
     if isinstance(value, ShardedMultiProof):
         return {"$sharded_multi_proof": _encode_sharded_multi_proof(value)}
+    if isinstance(value, SearchProof):
+        return {"$search_proof": _encode_search_proof(value)}
+    if isinstance(value, Block):
+        # SQL writes return the sealed Block; clients only need the
+        # commit receipt, so ship a plain summary (decodes as a dict).
+        return {
+            "height": value.height,
+            "chain_digest": _b64(bytes(value.chain_digest)),
+            "write_count": value.write_count,
+        }
     if isinstance(value, (bytes, bytearray)):
         return {"$bytes": _b64(bytes(value))}
     if isinstance(value, (list, tuple)):
@@ -144,6 +159,8 @@ def decode_value(value: Any) -> Any:
             return _decode_sharded_proof(value["$sharded_proof"])
         if "$sharded_multi_proof" in value:
             return _decode_sharded_multi_proof(value["$sharded_multi_proof"])
+        if "$search_proof" in value:
+            return _decode_search_proof(value["$search_proof"])
         return {key: decode_value(item) for key, item in value.items()}
     if isinstance(value, list):
         return [decode_value(item) for item in value]
@@ -174,7 +191,7 @@ def to_jsonable(value: Any) -> Any:
             for key, item in value.items()
         }
     if isinstance(value, (LedgerProof, LedgerRangeProof, LedgerMultiProof,
-                          ShardedProof, ShardedMultiProof)):
+                          ShardedProof, ShardedMultiProof, SearchProof)):
         return encode_value(value)
     return repr(value)
 
@@ -336,6 +353,103 @@ def _decode_multi_proof(frame: Any) -> LedgerMultiProof:
     except (KeyError, TypeError, ValueError) as error:
         raise WireCodecError(
             f"malformed multi-proof frame: {error}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# search proofs
+# ---------------------------------------------------------------------------
+
+def _encode_search_evidence(evidence: Any) -> Any:
+    if evidence is None:
+        return None
+    if isinstance(evidence, SiriProof):
+        return {
+            "kind": "point",
+            "key": _b64(evidence.key),
+            "value": (
+                None if evidence.value is None else _b64(evidence.value)
+            ),
+            "nodes": [_b64(node) for node in evidence.nodes],
+        }
+    if isinstance(evidence, PosRangeProof):
+        return {
+            "kind": "range",
+            "low": _b64(evidence.low),
+            "high": _b64(evidence.high),
+            "entries": [
+                [_b64(key), _b64(value)]
+                for key, value in evidence.entries
+            ],
+            "nodes": [_b64(node) for node in evidence.nodes],
+            "root": _encode_digest(evidence.root),
+        }
+    raise WireCodecError(
+        f"cannot encode search evidence of type {type(evidence).__name__}"
+    )
+
+
+def _decode_search_evidence(frame: Any) -> Any:
+    if frame is None:
+        return None
+    kind = frame.get("kind") if isinstance(frame, dict) else None
+    if kind == "point":
+        value = frame["value"]
+        return SiriProof(
+            key=_unb64(frame["key"]),
+            value=None if value is None else _unb64(value),
+            nodes=tuple(_unb64(node) for node in frame["nodes"]),
+        )
+    if kind == "range":
+        return PosRangeProof(
+            low=_unb64(frame["low"]),
+            high=_unb64(frame["high"]),
+            entries=tuple(
+                (_unb64(key), _unb64(value))
+                for key, value in frame["entries"]
+            ),
+            nodes=tuple(_unb64(node) for node in frame["nodes"]),
+            root=_decode_digest(frame["root"]),
+        )
+    raise WireCodecError(f"unknown search evidence kind {kind!r}")
+
+
+def _encode_search_proof(proof: SearchProof) -> Dict[str, Any]:
+    return {
+        "column": proof.column,
+        "predicate": proof.predicate.to_payload(),
+        "matches": [
+            [_b64(value), [_b64(ukey) for ukey in postings]]
+            for value, postings in proof.matches
+        ],
+        "anchor": _encode_point_proof(proof.anchor),
+        "evidence": _encode_search_evidence(proof.evidence),
+    }
+
+
+def _decode_search_proof(frame: Any) -> SearchProof:
+    try:
+        column = frame["column"]
+        if not isinstance(column, str):
+            raise WireCodecError("search-proof column must be a string")
+        return SearchProof(
+            column=column,
+            predicate=SearchPredicate.from_payload(frame["predicate"]),
+            matches=tuple(
+                (
+                    _unb64(value),
+                    tuple(_unb64(ukey) for ukey in postings),
+                )
+                for value, postings in frame["matches"]
+            ),
+            anchor=_decode_point_proof(frame["anchor"]),
+            evidence=_decode_search_evidence(frame["evidence"]),
+        )
+    except (KeyError, TypeError, ValueError, SpitzError) as error:
+        if isinstance(error, WireCodecError):
+            raise
+        raise WireCodecError(
+            f"malformed search-proof frame: {error}"
         ) from None
 
 

@@ -608,6 +608,7 @@ def serve_cluster(
     request_timeout: float = 10.0,
     metrics=None,
     shards: int = 1,
+    indexed_columns=None,
 ) -> ClusterService:
     """Build, start and front a cluster in one call (CLI and bench)."""
     cluster = SpitzCluster(
@@ -617,6 +618,7 @@ def serve_cluster(
         overload_window=overload_window,
         metrics=metrics,
         shards=shards,
+        indexed_columns=indexed_columns,
     )
     cluster.start()
     server = SpitzHTTPServer(

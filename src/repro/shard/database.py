@@ -240,6 +240,19 @@ class ShardedDatabase:
             "SQL is not supported on a sharded database; use the KV API"
         )
 
+    def search(self, column: str, predicate):
+        raise QueryError(
+            "search is not supported on a sharded database: postings "
+            "span shard ledgers and have no single committed index"
+        )
+
+    def search_verified(self, column: str, predicate):
+        raise QueryError(
+            "verified search is not supported on a sharded database: "
+            "postings span shard ledgers and have no single committed "
+            "index root to anchor the proof"
+        )
+
     # ------------------------------------------------------------------
     # verified reads against the digest-of-digests
     # ------------------------------------------------------------------

@@ -1,0 +1,163 @@
+"""Streaming workload for the verified-search benchmark.
+
+Two pieces, both O(1) memory so ``--figure search`` can index a
+million keys without materializing a million-element CDF or row list:
+
+- :class:`StreamingZipf` — YCSB's approximate zipfian generator
+  (Gray et al., "Quickly Generating Billion-Record Synthetic
+  Databases").  One O(n) pass computes the normalization constant
+  ``zetan``; every draw after that is O(1) arithmetic, versus
+  :class:`~repro.workloads.distributions.ZipfChooser`'s O(n) CDF table
+  (exact, but a 1M-entry float list is exactly what a memory-guarded
+  streaming benchmark must not allocate).
+- :class:`SearchWorkload` — a seeded row stream mixing a zipf-skewed
+  *keyword* column (vocabulary drawn from the wiki workload's page
+  names plus synthetic terms) with a quantized *numeric* column.  Rows
+  are yielded one at a time; the accumulated postings (what the
+  committed search index bulk-loads) grow with the vocabulary, not the
+  row count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+#: Default column names the benchmark indexes.
+KEYWORD_COLUMN = "docs.term"
+NUMERIC_COLUMN = "docs.score"
+
+
+class StreamingZipf:
+    """Approximate zipfian draws over ``[0, n)`` in O(1) memory.
+
+    The YCSB generator: skew ``theta`` in [0, 1), one O(n) pass for
+    ``zetan`` at construction, constant work per :meth:`next`.  Rank 0
+    is the hottest item, matching :class:`ZipfChooser`'s convention.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0):
+        if n < 1:
+            raise ValueError("population must be positive")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self._n = n
+        self._theta = theta
+        self._rng = random.Random(seed)
+        zetan = 0.0
+        for rank in range(1, n + 1):
+            zetan += 1.0 / rank ** theta
+        zeta2 = 1.0 + (0.5 ** theta if n > 1 else 0.0)
+        self._zetan = zetan
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (
+            (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - zeta2 / zetan)
+            if n > 1
+            else 0.0
+        )
+
+    def next(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self._theta:
+            return 1
+        rank = int(self._n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return min(rank, self._n - 1)
+
+
+@dataclass(frozen=True)
+class SearchRow:
+    """One generated row: primary key plus the two indexed values."""
+
+    pk: int
+    term: str
+    score: float
+
+
+class SearchWorkload:
+    """Seeded stream of rows for the verified-search benchmark.
+
+    - ``term`` — zipf-skewed draw from a ``vocabulary``-sized term set
+      (wiki-style page names for the head of the distribution,
+      synthetic ``term-NNNN`` strings for the tail), so keyword
+      queries hit realistic hot/cold postings;
+    - ``score`` — uniform draw quantized to ``score_levels`` distinct
+      values, so numeric range predicates select contiguous posting
+      runs and the committed tree stays vocabulary-sized.
+
+    :meth:`rows` streams; :meth:`postings` consumes the stream while
+    accumulating the per-column postings maps the committed index
+    bulk-loads.  Peak memory is O(vocabulary + levels + total pk
+    bytes), never O(rows × row-size).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        vocabulary: int = 1000,
+        score_levels: int = 1000,
+        theta: float = 0.99,
+        seed: int = 0,
+    ):
+        if rows < 1:
+            raise ValueError("need at least one row")
+        if vocabulary < 1 or score_levels < 1:
+            raise ValueError("vocabulary and score_levels must be positive")
+        self.count = rows
+        self.vocabulary = vocabulary
+        self.score_levels = score_levels
+        self._term_chooser = StreamingZipf(vocabulary, theta, seed)
+        self._rng = random.Random(seed + 1)
+        # Wiki page names head the vocabulary (the paper's Figure 1
+        # corpus); the tail is synthetic.  Built lazily per rank so the
+        # term list itself is the only vocabulary-sized allocation.
+        self._terms: List[str] = [
+            f"wiki/page-{rank:02d}" if rank < 10 else f"term-{rank:05d}"
+            for rank in range(vocabulary)
+        ]
+
+    def term_of(self, rank: int) -> str:
+        return self._terms[rank]
+
+    def rows(self) -> Iterator[SearchRow]:
+        """Stream the seeded rows one at a time (O(1) memory)."""
+        for pk in range(self.count):
+            term = self._terms[self._term_chooser.next()]
+            score = float(self._rng.randrange(self.score_levels))
+            yield SearchRow(pk=pk, term=term, score=score)
+
+    @staticmethod
+    def pk_bytes(pk: int) -> bytes:
+        """The 8-byte posting entry for one primary key."""
+        return pk.to_bytes(8, "big")
+
+    def postings(
+        self,
+    ) -> Tuple[Dict[str, List[bytes]], Dict[float, List[bytes]]]:
+        """Consume the stream into per-column postings maps.
+
+        Returns ``(term_postings, score_postings)`` keyed by value;
+        each posting list holds the 8-byte primary-key entries in
+        insertion (= ascending pk) order.  This is the bulk-load input
+        for :meth:`~repro.search.committed.CommittedSearchIndex
+        .bulk_load`.
+        """
+        terms: Dict[str, List[bytes]] = {}
+        scores: Dict[float, List[bytes]] = {}
+        for row in self.rows():
+            entry = self.pk_bytes(row.pk)
+            terms.setdefault(row.term, []).append(entry)
+            scores.setdefault(row.score, []).append(entry)
+        return terms, scores
+
+
+__all__ = [
+    "KEYWORD_COLUMN",
+    "NUMERIC_COLUMN",
+    "SearchRow",
+    "SearchWorkload",
+    "StreamingZipf",
+]

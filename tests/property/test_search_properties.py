@@ -1,0 +1,266 @@
+"""Property-based tests for the verifiable search plane.
+
+The load-bearing properties:
+
+- the order-preserving value codec really preserves order;
+- ``InvertedIndex.range(low, high)`` equals the brute-force filter
+  over everything indexed (the ISSUE's range/boundary property);
+- postings returned to callers alias nothing — mutating a result list
+  can never corrupt the index;
+- a ``SearchProof`` built over arbitrary data verifies and carries
+  exactly the brute-force answer, for every predicate shape;
+- committed roots are insertion-order invariant.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.forkbase.chunk_store import ChunkStore
+from repro.core.ledger import SpitzLedger
+from repro.indexes.inverted import InvertedIndex
+from repro.search.committed import (
+    SEARCH_ROOT_KEY,
+    CommittedSearchIndex,
+    decode_postings,
+    decode_search_value,
+    encode_postings,
+    encode_search_value,
+)
+from repro.search.proofs import (
+    SearchPredicate,
+    build_search_proof,
+    evaluate_on_inverted,
+)
+
+#: Indexable numerics: finite floats plus ints in a range that
+#: float64 represents exactly (the codec canonicalizes int → float).
+numerics = st.one_of(
+    st.integers(-(2**52), 2**52),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+strings = st.text(max_size=12)
+ukeys = st.binary(min_size=1, max_size=12)
+
+
+# -- value codec ------------------------------------------------------------
+
+
+@given(a=numerics, b=numerics)
+@settings(max_examples=200, deadline=None)
+def test_numeric_encoding_preserves_order(a, b):
+    ea, eb = encode_search_value(a), encode_search_value(b)
+    assert (ea < eb) == (float(a) < float(b))
+    assert (ea == eb) == (float(a) == float(b))
+
+
+@given(a=strings, b=strings)
+@settings(max_examples=200, deadline=None)
+def test_string_encoding_preserves_order(a, b):
+    ea, eb = encode_search_value(a), encode_search_value(b)
+    assert (ea < eb) == (a < b)
+    assert (ea == eb) == (a == b)
+
+
+@given(value=st.one_of(numerics, strings))
+@settings(max_examples=200, deadline=None)
+def test_value_codec_round_trips(value):
+    decoded = decode_search_value(encode_search_value(value))
+    if isinstance(value, str):
+        assert decoded == value
+    else:
+        assert decoded == float(value)
+
+
+@given(entries=st.lists(ukeys, max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_postings_codec_round_trips_canonically(entries):
+    blob = encode_postings(entries)
+    assert decode_postings(blob) == tuple(sorted(set(entries)))
+    # Canonical: any permutation encodes to the same bytes.
+    shuffled = list(entries)
+    random.Random(0).shuffle(shuffled)
+    assert encode_postings(shuffled) == blob
+
+
+# -- inverted index vs brute force ------------------------------------------
+
+
+rows_numeric = st.lists(
+    st.tuples(st.integers(0, 30), ukeys), min_size=1, max_size=40
+)
+rows_string = st.lists(
+    st.tuples(st.text(min_size=1, max_size=4), ukeys),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(rows=rows_numeric, low=st.integers(-2, 32), span=st.integers(0, 12))
+@settings(max_examples=150, deadline=None)
+def test_numeric_range_equals_brute_force(rows, low, span):
+    index = InvertedIndex()
+    for value, ukey in rows:
+        index.add("t.q", value, ukey)
+    high = low + span
+    expected = sorted(
+        {ukey for value, ukey in rows if low <= value <= high}
+    )
+    assert sorted(set(index.range("t.q", low, high))) == expected
+
+
+@given(rows=rows_string, low=strings, high=strings)
+@settings(max_examples=150, deadline=None)
+def test_string_range_equals_brute_force(rows, low, high):
+    if low > high:
+        low, high = high, low
+    index = InvertedIndex()
+    for value, ukey in rows:
+        index.add("t.s", value, ukey)
+    expected = sorted(
+        {ukey for value, ukey in rows if low <= value <= high}
+    )
+    assert sorted(set(index.range("t.s", low, high))) == expected
+
+
+@given(rows=rows_numeric)
+@settings(max_examples=100, deadline=None)
+def test_range_boundaries_are_inclusive(rows):
+    index = InvertedIndex()
+    for value, ukey in rows:
+        index.add("t.q", value, ukey)
+    value, ukey = rows[0]
+    assert ukey in index.range("t.q", value, value)
+
+
+@given(rows=rows_numeric)
+@settings(max_examples=100, deadline=None)
+def test_mutating_returned_postings_cannot_corrupt_index(rows):
+    index = InvertedIndex()
+    for value, ukey in rows:
+        index.add("t.q", value, ukey)
+    value = rows[0][0]
+    before = list(index.lookup("t.q", value))
+    stolen = index.lookup("t.q", value)
+    stolen.clear()
+    stolen.append(b"injected")
+    ranged = index.range("t.q", value, value)
+    ranged.reverse()
+    ranged.append(b"also-injected")
+    assert index.lookup("t.q", value) == before
+    assert b"injected" not in index.lookup("t.q", value)
+    assert b"also-injected" not in index.range("t.q", value, value)
+
+
+# -- underlying ordered structures vs brute force ---------------------------
+
+
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 9)),
+        min_size=1,
+        max_size=40,
+    ),
+    low=st.integers(-2, 42),
+    span=st.integers(0, 15),
+)
+@settings(max_examples=150, deadline=None)
+def test_skiplist_range_equals_brute_force(entries, low, span):
+    from repro.indexes.skiplist import SkipList
+
+    index = SkipList()
+    model = {}
+    for key, value in entries:
+        index.insert(key, value)
+        model[key] = value
+    high = low + span
+    expected = sorted(
+        (key, value) for key, value in model.items() if low <= key <= high
+    )
+    assert list(index.range(low, high)) == expected
+    # Exclusive high drops exactly the boundary entry, nothing else.
+    exclusive = list(index.range(low, high, inclusive=False))
+    assert exclusive == [kv for kv in expected if kv[0] != high]
+
+
+@given(
+    entries=st.lists(
+        st.tuples(st.binary(max_size=4), st.integers(0, 9)),
+        min_size=1,
+        max_size=40,
+    ),
+    prefix=st.binary(max_size=3),
+)
+@settings(max_examples=150, deadline=None)
+def test_radix_prefix_equals_brute_force(entries, prefix):
+    from repro.indexes.radix import RadixTree
+
+    tree = RadixTree()
+    model = {}
+    for key, value in entries:
+        tree.insert(key, value)
+        model[key] = value
+    expected = sorted(
+        (key, value)
+        for key, value in model.items()
+        if key.startswith(prefix)
+    )
+    assert sorted(tree.prefix_items(prefix)) == expected
+
+
+# -- end-to-end proof property ----------------------------------------------
+
+
+predicates = st.one_of(
+    st.builds(SearchPredicate.eq, st.integers(0, 30)),
+    st.builds(SearchPredicate.ge, st.integers(0, 30)),
+    st.builds(SearchPredicate.gt, st.integers(0, 30)),
+    st.builds(SearchPredicate.le, st.integers(0, 30)),
+    st.builds(SearchPredicate.lt, st.integers(0, 30)),
+    st.builds(
+        lambda low, span: SearchPredicate.between(low, low + span),
+        st.integers(0, 30),
+        st.integers(0, 10),
+    ),
+)
+
+
+@given(rows=rows_numeric, predicate=predicates)
+@settings(max_examples=60, deadline=None)
+def test_search_proof_carries_exact_brute_force_answer(rows, predicate):
+    chunks = ChunkStore()
+    ledger = SpitzLedger(chunks)
+    inverted = InvertedIndex()
+    index = CommittedSearchIndex(chunks, ["t.q"])
+    for value, ukey in rows:
+        inverted.add("t.q", value, ukey)
+        index.note_change("t.q", value)
+    ledger.append_block({SEARCH_ROOT_KEY: index.seal(inverted)})
+    proof = build_search_proof(ledger, index, "t.q", predicate)
+    assert proof.verify(ledger.digest().chain_digest)
+    expected = sorted(
+        {ukey for value, ukey in rows if predicate.matches(value)}
+    )
+    assert sorted(set(proof.ukeys)) == expected
+    # The unverified path answers identically (as a set of ukeys).
+    assert sorted(
+        set(evaluate_on_inverted(inverted, "t.q", predicate))
+    ) == expected
+
+
+@given(rows=rows_string)
+@settings(max_examples=60, deadline=None)
+def test_committed_root_is_insertion_order_invariant(rows):
+    def build(ordering):
+        chunks = ChunkStore()
+        inverted = InvertedIndex()
+        index = CommittedSearchIndex(chunks, ["t.s"])
+        for value, ukey in ordering:
+            inverted.add("t.s", value, ukey)
+            index.note_change("t.s", value)
+        index.seal(inverted)
+        return index.manifest_bytes()
+
+    shuffled = list(rows)
+    random.Random(7).shuffle(shuffled)
+    assert build(rows) == build(shuffled)

@@ -1,0 +1,108 @@
+"""Unit tests for the streaming search workload (repro.workloads.search).
+
+The load-bearing claims: draws are seeded/deterministic and zipf-
+skewed, the row stream is a true generator, and peak memory while
+streaming is bounded by the vocabulary — never by the row count (the
+ISSUE's memory-guard satellite).
+"""
+
+import itertools
+import tracemalloc
+
+import pytest
+
+from repro.workloads.search import (
+    KEYWORD_COLUMN,
+    NUMERIC_COLUMN,
+    SearchRow,
+    SearchWorkload,
+    StreamingZipf,
+)
+
+
+class TestStreamingZipf:
+    def test_deterministic_under_seed(self):
+        a = StreamingZipf(1000, seed=7)
+        b = StreamingZipf(1000, seed=7)
+        assert [a.next() for _ in range(200)] == [
+            b.next() for _ in range(200)
+        ]
+
+    def test_draws_stay_in_range(self):
+        chooser = StreamingZipf(50, seed=3)
+        draws = [chooser.next() for _ in range(2000)]
+        assert all(0 <= rank < 50 for rank in draws)
+
+    def test_rank_zero_is_hottest(self):
+        chooser = StreamingZipf(1000, theta=0.99, seed=1)
+        draws = [chooser.next() for _ in range(5000)]
+        head = sum(1 for rank in draws if rank == 0)
+        tail = sum(1 for rank in draws if rank >= 500)
+        assert head > tail  # strong skew: one hot key beats 500 cold ones
+        assert head / len(draws) > 0.05
+
+    def test_degenerate_population(self):
+        chooser = StreamingZipf(1, seed=0)
+        assert [chooser.next() for _ in range(10)] == [0] * 10
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingZipf(0)
+        with pytest.raises(ValueError):
+            StreamingZipf(10, theta=1.0)
+
+
+class TestSearchWorkload:
+    def test_rows_are_deterministic_and_streamed(self):
+        workload = SearchWorkload(rows=100, seed=5)
+        again = SearchWorkload(rows=100, seed=5)
+        first = list(workload.rows())
+        assert first == list(again.rows())
+        assert len(first) == 100
+        assert all(isinstance(row, SearchRow) for row in first)
+        # rows() is a generator, not a materialized list.
+        stream = SearchWorkload(rows=10**9, seed=5).rows()
+        assert len(list(itertools.islice(stream, 5))) == 5
+
+    def test_terms_mix_wiki_head_with_synthetic_tail(self):
+        workload = SearchWorkload(rows=10, vocabulary=50, seed=0)
+        assert workload.term_of(0).startswith("wiki/page-")
+        assert workload.term_of(49).startswith("term-")
+
+    def test_scores_are_quantized(self):
+        workload = SearchWorkload(rows=200, score_levels=10, seed=2)
+        scores = {row.score for row in workload.rows()}
+        assert scores <= {float(level) for level in range(10)}
+
+    def test_postings_cover_every_row_once(self):
+        workload = SearchWorkload(rows=300, seed=4)
+        terms, scores = workload.postings()
+        assert sum(len(v) for v in terms.values()) == 300
+        assert sum(len(v) for v in scores.values()) == 300
+        every = sorted(
+            entry for postings in terms.values() for entry in postings
+        )
+        assert every == [SearchWorkload.pk_bytes(pk) for pk in range(300)]
+
+    def test_column_names_are_table_cells(self):
+        assert "." in KEYWORD_COLUMN and "." in NUMERIC_COLUMN
+
+    def test_streaming_memory_is_bounded_by_vocabulary(self):
+        """Memory guard: iterating 200k rows must not materialize them.
+
+        The budget (256 KB) holds the chooser, the vocabulary list and
+        per-row garbage — it is ~50x smaller than what a materialized
+        list of 200k SearchRow objects would need.
+        """
+        workload = SearchWorkload(rows=200_000, vocabulary=500, seed=9)
+        count = 0
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            for _row in workload.rows():
+                count += 1
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert count == 200_000
+        assert peak < 256 * 1024, f"streaming peak {peak} bytes"

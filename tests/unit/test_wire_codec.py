@@ -195,6 +195,10 @@ class TestRequestEnvelopes:
         RequestKind.HISTORY: {"key": b"k"},
         RequestKind.DIGEST: {},
         RequestKind.STATS: {"traces": True},
+        RequestKind.SEARCH: {
+            "column": "items.price",
+            "predicate": {"op": "ge", "value": 10.0},
+        },
     }
 
     def test_every_kind_roundtrips(self):
